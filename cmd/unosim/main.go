@@ -1,0 +1,75 @@
+// Command unosim runs the paper's experiments and prints the tables each
+// figure reports — the Go equivalent of the artifact's sc25_figX.sh
+// scripts.
+//
+// Usage:
+//
+//	unosim -list
+//	unosim -exp fig3
+//	unosim -exp all -scale 2 -seed 7
+//	unosim -exp fig13a -out results/   # CSV artifacts
+//
+// Scale 1 is a minutes-long quick validation (like sc25_quick_validation);
+// larger scales add flows, reruns, and duration toward paper scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"uno/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (fig1, fig3, fig4, table1, fig8...fig13c, ext-*) or 'all'")
+		scale = flag.Float64("scale", 1, "experiment scale; 1 = quick validation")
+		seed  = flag.Uint64("seed", 42, "base random seed")
+		list  = flag.Bool("list", false, "list available experiments")
+		out   = flag.String("out", "", "also write CSV + text artifacts under this directory (like the paper's artifact_results/)")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range harness.Registry() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := harness.Config{Scale: *scale, Seed: *seed}
+	run := func(e harness.Experiment) {
+		start := time.Now()
+		report := e.Run(cfg)
+		fmt.Println(report.String())
+		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			paths, err := report.WriteArtifacts(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing artifacts: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d artifact files under %s\n\n", len(paths), *out)
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range harness.Registry() {
+			run(e)
+		}
+		return
+	}
+	e, ok := harness.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,39 @@
+// Experiments: drive the paper's evaluation programmatically — run a
+// selection of the registered experiments through the library API, print
+// their reports, and export CSV artifacts (the same layout as the paper
+// artifact's artifact_results/ directories).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"uno"
+)
+
+func main() {
+	outDir := "artifact_results"
+	if len(os.Args) > 1 {
+		outDir = os.Args[1]
+	}
+
+	// A quick-validation subset, like the artifact's sc25_quick_validation.
+	quick := []string{"fig1", "table1", "fig4", "ext-trim"}
+	for _, id := range quick {
+		report, ok := uno.RunExperiment(id, uno.ExperimentConfig{Scale: 1, Seed: 42})
+		if !ok {
+			panic("unknown experiment " + id)
+		}
+		fmt.Println(report.String())
+		paths, err := report.WriteArtifacts(outDir)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("→ %d artifact files under %s/%s\n\n", len(paths), outDir, id)
+	}
+
+	fmt.Println("all registered experiments:")
+	for _, e := range uno.Experiments() {
+		fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+	}
+}

@@ -1,0 +1,3 @@
+module uno
+
+go 1.24

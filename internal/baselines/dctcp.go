@@ -1,0 +1,135 @@
+package baselines
+
+import (
+	"uno/internal/eventq"
+	"uno/internal/transport"
+)
+
+// DCTCP is the classic datacenter congestion controller [Alizadeh et al.,
+// SIGCOMM'10]: per-RTT window reduction proportional to a smoothed
+// estimate of the ECN-marked fraction (cwnd ×= 1 − α/2 with
+// α ← (1−g)·α + g·F), slow start below ssthresh, and one-MSS-per-RTT
+// additive increase otherwise. It is not one of the paper's headline
+// baselines but is the reference point the paper's buffer-sizing argument
+// (§2.3, "DCTCP requires the buffer space to be at least 17% of BDP") is
+// made against, and several comparisons in the literature pair BBR with
+// DCTCP instead of MPRDMA.
+type DCTCPConfig struct {
+	// BaseRTT seeds the round length before RTT samples exist.
+	BaseRTT eventq.Time
+	// G is the EWMA gain for the marked fraction (default 1/16, the
+	// paper's value).
+	G float64
+	// InitialCwnd in wire bytes; zero defaults to 10 packets.
+	InitialCwnd float64
+	// MaxCwnd caps growth; zero defaults to 64 MiB.
+	MaxCwnd float64
+}
+
+func (c DCTCPConfig) withDefaults() DCTCPConfig {
+	if c.G <= 0 {
+		c.G = 1.0 / 16
+	}
+	if c.MaxCwnd <= 0 {
+		c.MaxCwnd = 64 << 20
+	}
+	return c
+}
+
+// DCTCP implements transport.CongestionControl.
+type DCTCP struct {
+	cfg DCTCPConfig
+
+	alpha      float64 // smoothed marked fraction
+	ssthresh   float64
+	roundStart eventq.Time
+	acks       int
+	marked     int
+
+	// Rounds and Cuts are telemetry for tests.
+	Rounds int
+	Cuts   int
+}
+
+// NewDCTCP builds a controller for one flow.
+func NewDCTCP(cfg DCTCPConfig) *DCTCP {
+	return &DCTCP{cfg: cfg.withDefaults()}
+}
+
+// Name implements transport.CongestionControl.
+func (d *DCTCP) Name() string { return "dctcp" }
+
+// Init implements transport.CongestionControl.
+func (d *DCTCP) Init(c *transport.Conn) {
+	if d.cfg.BaseRTT <= 0 {
+		d.cfg.BaseRTT = c.Params().BaseRTT
+	}
+	w := d.cfg.InitialCwnd
+	if w <= 0 {
+		w = 10 * float64(c.MTUWire())
+	}
+	c.SetCwnd(w)
+	d.ssthresh = d.cfg.MaxCwnd
+	d.roundStart = c.Now()
+}
+
+// OnAck implements transport.CongestionControl.
+func (d *DCTCP) OnAck(c *transport.Conn, a transport.AckInfo) {
+	d.acks++
+	if a.Marked {
+		d.marked++
+	}
+	if a.Bytes > 0 {
+		mss := float64(c.MTUWire())
+		cwnd := c.Cwnd()
+		var next float64
+		if cwnd < d.ssthresh {
+			next = cwnd + float64(a.Bytes) // slow start
+		} else {
+			next = cwnd + mss*float64(a.Bytes)/cwnd // 1 MSS per RTT
+		}
+		if next > d.cfg.MaxCwnd {
+			next = d.cfg.MaxCwnd
+		}
+		c.SetCwnd(next)
+	}
+	// Round boundary at the flow's RTT granularity.
+	if a.SentAt >= d.roundStart {
+		d.onRound(c, a.Now)
+	}
+}
+
+func (d *DCTCP) onRound(c *transport.Conn, now eventq.Time) {
+	d.Rounds++
+	f := 0.0
+	if d.acks > 0 {
+		f = float64(d.marked) / float64(d.acks)
+	}
+	d.alpha = (1-d.cfg.G)*d.alpha + d.cfg.G*f
+	if d.marked > 0 {
+		c.SetCwnd(c.Cwnd() * (1 - d.alpha/2))
+		d.ssthresh = c.Cwnd()
+		d.Cuts++
+	}
+	d.acks, d.marked = 0, 0
+	rtt := d.cfg.BaseRTT
+	if srtt := c.SRTT(); srtt > 0 {
+		rtt = srtt
+	}
+	d.roundStart += rtt
+	if d.roundStart < now-rtt {
+		d.roundStart = now - rtt
+	}
+}
+
+// OnNack implements transport.CongestionControl.
+func (d *DCTCP) OnNack(c *transport.Conn) {}
+
+// OnTimeout implements transport.CongestionControl.
+func (d *DCTCP) OnTimeout(c *transport.Conn) {
+	d.ssthresh = c.Cwnd() / 2
+	c.SetCwnd(float64(c.MTUWire()))
+}
+
+// Alpha exposes the smoothed marked fraction (for tests).
+func (d *DCTCP) Alpha() float64 { return d.alpha }

@@ -1,0 +1,172 @@
+// Package baselines implements the state-of-the-art protocols the paper
+// compares Uno against (§5.1): Gemini [Zeng et al., ICNP'19], MPRDMA
+// [Lu et al., NSDI'18], and BBR [Cardwell et al., CACM'17].
+package baselines
+
+import (
+	"math"
+
+	"uno/internal/eventq"
+	"uno/internal/transport"
+)
+
+// Gemini is a window-based congestion controller for mixed intra/inter-DC
+// traffic. It detects intra-DC congestion via the ECN-marked fraction and
+// inter-DC (WAN) congestion via queuing delay, and applies BDP-scaled AIMD
+// factors that provably converge to bandwidth fairness — but, unlike
+// UnoCC, it reacts once per *flow* RTT, so inter-DC flows adapt ~two
+// orders of magnitude more slowly than intra-DC competitors (the slow
+// convergence of Fig 3 B).
+type GeminiConfig struct {
+	// BDP of the flow in wire bytes.
+	BDP float64
+	// IntraBDP in wire bytes (for the shared MD constant K = IntraBDP/7).
+	IntraBDP float64
+	// BaseRTT is the flow's unloaded RTT; rounds last one RTT.
+	BaseRTT eventq.Time
+	// InterDC selects the WAN signal (delay) in addition to ECN.
+	InterDC bool
+
+	// AlphaFrac is the AI constant as a fraction of BDP (default 0.001,
+	// matching UnoCC per §4.1.1 "We select UnoCC's AI and MD factors
+	// similar to Gemini").
+	AlphaFrac float64
+	// K is the MD constant in bytes; zero defaults to IntraBDP/7.
+	K float64
+	// EWMAGain for the congestion-fraction average (default 1/8).
+	EWMAGain float64
+	// DelayThresh is the relative delay that flags WAN congestion
+	// (default 10% of BaseRTT).
+	DelayThresh eventq.Time
+	// InitialCwnd in wire bytes; zero defaults to BDP.
+	InitialCwnd float64
+	// MaxCwnd caps growth; zero defaults to 2×BDP.
+	MaxCwnd float64
+}
+
+func (c GeminiConfig) withDefaults() GeminiConfig {
+	if c.AlphaFrac <= 0 {
+		c.AlphaFrac = 0.001
+	}
+	if c.K <= 0 {
+		c.K = c.IntraBDP / 7
+	}
+	if c.EWMAGain <= 0 {
+		c.EWMAGain = 0.125
+	}
+	if c.DelayThresh <= 0 {
+		c.DelayThresh = c.BaseRTT / 10
+	}
+	if c.InitialCwnd <= 0 {
+		c.InitialCwnd = c.BDP
+	}
+	if c.MaxCwnd <= 0 {
+		c.MaxCwnd = 2 * c.BDP
+	}
+	return c
+}
+
+// Gemini implements transport.CongestionControl.
+type Gemini struct {
+	cfg   GeminiConfig
+	alpha float64
+
+	roundStart  eventq.Time // epoch over the flow's own RTT
+	acks        int
+	marked      int
+	delayed     int
+	minRelDelay eventq.Time
+	ewmaFrac    float64
+
+	// Rounds and MDs are telemetry for tests.
+	Rounds int
+	MDs    int
+}
+
+// NewGemini builds a controller for one flow.
+func NewGemini(cfg GeminiConfig) *Gemini {
+	return &Gemini{cfg: cfg.withDefaults()}
+}
+
+// Name implements transport.CongestionControl.
+func (g *Gemini) Name() string { return "gemini" }
+
+// Init implements transport.CongestionControl.
+func (g *Gemini) Init(c *transport.Conn) {
+	g.alpha = g.cfg.AlphaFrac * g.cfg.BDP
+	c.SetCwnd(g.cfg.InitialCwnd)
+	g.roundStart = c.Now()
+	g.minRelDelay = math.MaxInt64
+}
+
+// OnAck implements transport.CongestionControl.
+func (g *Gemini) OnAck(c *transport.Conn, a transport.AckInfo) {
+	g.acks++
+	congSignal := a.Marked
+	if a.RTT > 0 {
+		rel := a.RTT - g.cfg.BaseRTT
+		if rel < g.minRelDelay {
+			g.minRelDelay = rel
+		}
+		if g.cfg.InterDC && rel > g.cfg.DelayThresh {
+			g.delayed++
+			congSignal = true
+		}
+	}
+	if a.Marked {
+		g.marked++
+	}
+	if !congSignal && a.Bytes > 0 {
+		cwnd := c.Cwnd()
+		next := cwnd + g.alpha*float64(a.Bytes)/cwnd
+		if next > g.cfg.MaxCwnd {
+			next = g.cfg.MaxCwnd
+		}
+		c.SetCwnd(next)
+	}
+	// Round termination at the flow's own RTT granularity: the key
+	// difference from UnoCC's unified epochs.
+	if a.SentAt >= g.roundStart {
+		g.onRound(c, a.Now)
+	}
+}
+
+func (g *Gemini) onRound(c *transport.Conn, now eventq.Time) {
+	g.Rounds++
+	frac := 0.0
+	if g.acks > 0 {
+		cong := g.marked
+		if g.cfg.InterDC && g.delayed > cong {
+			cong = g.delayed
+		}
+		frac = float64(cong) / float64(g.acks)
+	}
+	g.ewmaFrac = g.cfg.EWMAGain*frac + (1-g.cfg.EWMAGain)*g.ewmaFrac
+
+	if frac > 0 {
+		md := g.ewmaFrac * 4 * g.cfg.K / (g.cfg.K + g.cfg.BDP)
+		if md > 0.5 {
+			md = 0.5
+		}
+		c.SetCwnd(c.Cwnd() * (1 - md))
+		g.MDs++
+	}
+	g.acks, g.marked, g.delayed = 0, 0, 0
+	g.minRelDelay = math.MaxInt64
+	rtt := g.cfg.BaseRTT
+	if srtt := c.SRTT(); srtt > 0 {
+		rtt = srtt
+	}
+	g.roundStart += rtt
+	if g.roundStart < now-rtt {
+		g.roundStart = now - rtt
+	}
+}
+
+// OnNack implements transport.CongestionControl.
+func (g *Gemini) OnNack(c *transport.Conn) {}
+
+// OnTimeout implements transport.CongestionControl.
+func (g *Gemini) OnTimeout(c *transport.Conn) {
+	c.SetCwnd(float64(c.MTUWire()))
+}

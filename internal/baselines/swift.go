@@ -1,0 +1,122 @@
+package baselines
+
+import (
+	"uno/internal/eventq"
+	"uno/internal/transport"
+)
+
+// Swift is a simplified Swift [Kumar et al., SIGCOMM'20], the delay-based
+// intra-DC controller the paper cites among the state of the art (§7):
+// the window grows additively while the measured RTT is under a target
+// delay and shrinks multiplicatively — proportionally to how far the delay
+// overshoots — at most once per RTT. The paper's §2.2 argues delay is hard
+// to use across heterogeneous intra/inter-DC queues; Swift here serves as
+// that reference point and as another intra-DC pairing for custom stacks.
+type SwiftConfig struct {
+	// BaseRTT is the flow's unloaded RTT.
+	BaseRTT eventq.Time
+	// TargetDelay is the queuing budget above BaseRTT (default: 50% of
+	// BaseRTT, Swift's fabric-delay-scaled flavour).
+	TargetDelay eventq.Time
+	// AI is the additive increase per RTT in wire bytes (default 1 MSS).
+	AI float64
+	// Beta scales the multiplicative decrease (default 0.8).
+	Beta float64
+	// MaxMDF caps a single decrease (default 0.5).
+	MaxMDF float64
+	// InitialCwnd in wire bytes; zero defaults to 10 packets.
+	InitialCwnd float64
+	// MaxCwnd caps growth; zero defaults to 64 MiB.
+	MaxCwnd float64
+}
+
+func (c SwiftConfig) withDefaults() SwiftConfig {
+	if c.TargetDelay <= 0 {
+		c.TargetDelay = c.BaseRTT / 2
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.8
+	}
+	if c.MaxMDF <= 0 {
+		c.MaxMDF = 0.5
+	}
+	if c.MaxCwnd <= 0 {
+		c.MaxCwnd = 64 << 20
+	}
+	return c
+}
+
+// Swift implements transport.CongestionControl.
+type Swift struct {
+	cfg     SwiftConfig
+	lastCut eventq.Time
+
+	// Cuts is telemetry for tests.
+	Cuts int
+}
+
+// NewSwift builds a controller for one flow.
+func NewSwift(cfg SwiftConfig) *Swift {
+	return &Swift{cfg: cfg.withDefaults()}
+}
+
+// Name implements transport.CongestionControl.
+func (s *Swift) Name() string { return "swift" }
+
+// Init implements transport.CongestionControl.
+func (s *Swift) Init(c *transport.Conn) {
+	if s.cfg.BaseRTT <= 0 {
+		s.cfg.BaseRTT = c.Params().BaseRTT
+		s.cfg = s.cfg.withDefaults()
+	}
+	if s.cfg.AI <= 0 {
+		s.cfg.AI = float64(c.MTUWire())
+	}
+	w := s.cfg.InitialCwnd
+	if w <= 0 {
+		w = 10 * float64(c.MTUWire())
+	}
+	c.SetCwnd(w)
+}
+
+// OnAck implements transport.CongestionControl.
+func (s *Swift) OnAck(c *transport.Conn, a transport.AckInfo) {
+	if a.RTT <= 0 {
+		return
+	}
+	delay := a.RTT - s.cfg.BaseRTT
+	cwnd := c.Cwnd()
+	if delay <= s.cfg.TargetDelay {
+		if a.Bytes > 0 {
+			next := cwnd + s.cfg.AI*float64(a.Bytes)/cwnd
+			if next > s.cfg.MaxCwnd {
+				next = s.cfg.MaxCwnd
+			}
+			c.SetCwnd(next)
+		}
+		return
+	}
+	// Over target: multiplicative decrease, at most once per RTT.
+	rtt := c.SRTT()
+	if rtt <= 0 {
+		rtt = s.cfg.BaseRTT
+	}
+	if a.Now-s.lastCut < rtt {
+		return
+	}
+	s.lastCut = a.Now
+	mdf := s.cfg.Beta * float64(delay-s.cfg.TargetDelay) / float64(delay)
+	if mdf > s.cfg.MaxMDF {
+		mdf = s.cfg.MaxMDF
+	}
+	c.SetCwnd(cwnd * (1 - mdf))
+	s.Cuts++
+}
+
+// OnNack implements transport.CongestionControl.
+func (s *Swift) OnNack(c *transport.Conn) {}
+
+// OnTimeout implements transport.CongestionControl.
+func (s *Swift) OnTimeout(c *transport.Conn) {
+	c.SetCwnd(c.Cwnd() / 2)
+}

@@ -1,0 +1,97 @@
+package baselines
+
+import (
+	"testing"
+
+	"uno/internal/eventq"
+	"uno/internal/simtest"
+	"uno/internal/stats"
+	"uno/internal/transport"
+)
+
+func TestSwiftDefaults(t *testing.T) {
+	cfg := SwiftConfig{BaseRTT: 10 * eventq.Microsecond}.withDefaults()
+	if cfg.TargetDelay != 5*eventq.Microsecond || cfg.Beta != 0.8 || cfg.MaxMDF != 0.5 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}
+
+func TestSwiftSingleFlowUtilization(t *testing.T) {
+	in := simtest.NewIncast(70, bw100G, []eventq.Time{eventq.Microsecond}, simtest.PortConfig())
+	rtt := in.BaseRTT(0, 4096, bw100G)
+	cc := NewSwift(SwiftConfig{BaseRTT: rtt})
+	conn := start(t, in, 0, 1, 32<<20, cc)
+	in.Net.Sched.RunUntil(50 * eventq.Millisecond)
+	if !conn.Completed() {
+		t.Fatal("flow did not complete")
+	}
+	if conn.FCT() > 8*eventq.Millisecond {
+		t.Fatalf("Swift FCT %v; poor utilization", conn.FCT())
+	}
+}
+
+func TestSwiftHoldsDelayNearTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence simulation")
+	}
+	// Two backlogged Swift flows: the bottleneck's standing queue must
+	// stabilize around the delay target, far below the 1 MiB cap.
+	delays := []eventq.Time{eventq.Microsecond, eventq.Microsecond}
+	in := simtest.NewIncast(71, bw100G, delays, simtest.PortConfig())
+	rtt := in.BaseRTT(0, 4096, bw100G)
+	target := rtt / 2
+	var conns []*transport.Conn
+	for i := range delays {
+		conns = append(conns, start(t, in, i, int64(i+1), 1<<30,
+			NewSwift(SwiftConfig{BaseRTT: rtt, TargetDelay: target})))
+	}
+	var q stats.Sample
+	var sample func()
+	sample = func() {
+		q.Add(float64(in.Bottleneck.QueuedBytes()))
+		if in.Net.Now() < 10*eventq.Millisecond {
+			in.Net.Sched.After(20*eventq.Microsecond, sample)
+		}
+	}
+	in.Net.Sched.Schedule(2*eventq.Millisecond, sample)
+	rs := simtest.NewRateSampler(in.Net.Sched, conns, 0, eventq.Millisecond, 10*eventq.Millisecond)
+	in.Net.Sched.RunUntil(10 * eventq.Millisecond)
+
+	// The delay target of rtt/2 ≈ 2.3µs corresponds to ≈29 KB of queue at
+	// 100 Gb/s; allow generous slack but demand it stays well below cap.
+	if q.Mean() > 200<<10 {
+		t.Fatalf("mean queue %v B far above the delay target", q.Mean())
+	}
+	if q.Max() >= 1<<20 {
+		t.Fatal("queue hit capacity")
+	}
+	rates := rs.FinalRates(5, 10)
+	if j := stats.JainIndex(rates); j < 0.85 {
+		t.Fatalf("Swift fairness %v (rates %v)", j, rates)
+	}
+	if total := rates[0] + rates[1]; total < 0.6*12.5e9 {
+		t.Fatalf("utilization %v B/s too low", total)
+	}
+}
+
+func TestSwiftCutRateLimited(t *testing.T) {
+	in := simtest.NewIncast(72, bw100G, []eventq.Time{eventq.Microsecond}, simtest.PortConfig())
+	rtt := in.BaseRTT(0, 4096, bw100G)
+	cc := NewSwift(SwiftConfig{BaseRTT: rtt})
+	conn := start(t, in, 0, 1, 1<<20, cc)
+	in.Net.Sched.RunUntil(eventq.Millisecond)
+
+	// Synthetic overshoot well after any organic cuts from the live run.
+	now := in.Net.Now() + eventq.Second
+	over := rtt * 3 // far above target
+	before := cc.Cuts
+	cc.OnAck(conn, transport.AckInfo{RTT: over, Bytes: 4160, Now: now})
+	if cc.Cuts != before+1 {
+		t.Fatalf("cuts = %d, want %d", cc.Cuts, before+1)
+	}
+	// Immediate second overshoot sample: still within one RTT → no cut.
+	cc.OnAck(conn, transport.AckInfo{RTT: over, Bytes: 4160, Now: now + eventq.Nanosecond})
+	if cc.Cuts != before+1 {
+		t.Fatal("cut not rate-limited to once per RTT")
+	}
+}

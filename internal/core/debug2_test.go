@@ -1,0 +1,40 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"uno/internal/eventq"
+	"uno/internal/simtest"
+	"uno/internal/transport"
+)
+
+func TestDebugMixedTrace(t *testing.T) {
+	if os.Getenv("UNO_DEBUG") == "" {
+		t.Skip("debug trace; set UNO_DEBUG=1 to run")
+	}
+	delays := []eventq.Time{
+		eventq.Microsecond, eventq.Microsecond,
+		128 * eventq.Microsecond, 128 * eventq.Microsecond,
+	}
+	in := simtest.NewIncast(6, bw100G, delays, simtest.PhantomPortConfig(bw100G, 1<<20))
+	intraRTT := in.BaseRTT(0, 4096, bw100G)
+	var conns []*transport.Conn
+	var ccs []*UnoCC
+	for i := range delays {
+		cc := ccFor(in, i, intraRTT)
+		ccs = append(ccs, cc)
+		conns = append(conns, startFlow(t, in, i, int64(i+1), 1<<30, cc, nil))
+	}
+	for step := 0; step < 15; step++ {
+		in.Net.Sched.RunUntil(eventq.Time(step+1) * 2 * eventq.Millisecond)
+		t.Logf("=== t=%v phys=%d phantom=%.0f", in.Net.Now(), in.Bottleneck.QueuedBytes(),
+			in.Bottleneck.Config().Phantom.Occupancy(in.Net.Now()))
+		for i, c := range conns {
+			st := c.Stats()
+			t.Logf("  f%d cwnd=%.0f inflight=%d acked=%d rtx=%d to=%d fast=%d MD=%d gentle=%d QA=%d epochs=%d",
+				i, c.Cwnd(), c.InFlight(), st.BytesAcked, st.PktsRetrans, st.Timeouts,
+				st.FastRetrans, ccs[i].MDs, ccs[i].GentleMDs, ccs[i].QAFires, ccs[i].Epochs)
+		}
+	}
+}

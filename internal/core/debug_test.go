@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"uno/internal/eventq"
+	"uno/internal/simtest"
+)
+
+// TestDebugSingleFlowTrace is a development aid: run with -run DebugSingle
+// -v to dump controller state over time.
+func TestDebugSingleFlowTrace(t *testing.T) {
+	if os.Getenv("UNO_DEBUG") == "" {
+		t.Skip("debug trace; set UNO_DEBUG=1 to run")
+	}
+	in := simtest.NewIncast(7, bw100G, []eventq.Time{eventq.Microsecond},
+		simtest.PhantomPortConfig(bw100G, 512<<10))
+	intraRTT := in.BaseRTT(0, 4096, bw100G)
+	cc := ccFor(in, 0, intraRTT)
+	conn := startFlow(t, in, 0, 1, 1<<30, cc, nil)
+	for i := 0; i < 40; i++ {
+		in.Net.Sched.RunUntil(eventq.Time(i+1) * 250 * eventq.Microsecond)
+		ph := in.Bottleneck.Config().Phantom
+		t.Logf("t=%v cwnd=%.0f inflight=%d srtt=%v acked=%d epochs=%d MDs=%d gentle=%d QA=%d marks=%d phys=%d phantom=%.0f",
+			in.Net.Now(), conn.Cwnd(), conn.InFlight(), conn.SRTT(),
+			conn.Stats().BytesAcked, cc.Epochs, cc.MDs, cc.GentleMDs, cc.QAFires,
+			conn.Stats().MarkedAcks, in.Bottleneck.QueuedBytes(), ph.Occupancy(in.Net.Now()))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"uno/internal/eventq"
+	"uno/internal/simtest"
+)
+
+func TestGentleFloorDefault(t *testing.T) {
+	cfg := CCConfig{BDP: 1e6, IntraBDP: 7e4, BaseRTT: 14 * eventq.Microsecond}.withDefaults()
+	if cfg.GentleFloor != 0.3 {
+		t.Fatalf("gentle floor default = %v", cfg.GentleFloor)
+	}
+	if cfg.PacingGain != 1.25 {
+		t.Fatalf("pacing gain default = %v", cfg.PacingGain)
+	}
+}
+
+func TestPacingEnabledByDefault(t *testing.T) {
+	in := simtest.NewIncast(40, bw100G, []eventq.Time{eventq.Microsecond}, simtest.PortConfig())
+	intraRTT := in.BaseRTT(0, 4096, bw100G)
+	cc := ccFor(in, 0, intraRTT)
+	conn := startFlow(t, in, 0, 1, 1<<20, cc, nil)
+	if conn.PacingRate() <= 0 {
+		t.Fatal("UnoCC did not program pacing")
+	}
+	// Pacing tracks PacingGain × cwnd / RTT.
+	want := 1.25 * 8 * conn.Cwnd() / cc.Config().BaseRTT.Seconds()
+	got := conn.PacingRate()
+	if got < want*0.99 || got > want*1.01 {
+		t.Fatalf("pacing %v, want ≈%v", got, want)
+	}
+}
+
+func TestPacingDisabledAblation(t *testing.T) {
+	in := simtest.NewIncast(41, bw100G, []eventq.Time{eventq.Microsecond}, simtest.PortConfig())
+	intraRTT := in.BaseRTT(0, 4096, bw100G)
+	cc := ccFor(in, 0, intraRTT, func(c *CCConfig) { c.DisablePacing = true })
+	conn := startFlow(t, in, 0, 1, 1<<20, cc, nil)
+	in.Net.Sched.RunUntil(eventq.Millisecond)
+	if conn.PacingRate() != 0 {
+		t.Fatalf("pacing %v despite DisablePacing", conn.PacingRate())
+	}
+	if !conn.Completed() {
+		t.Fatal("unpaced flow did not complete")
+	}
+}
+
+func TestRampTelemetryFiresOnRecovery(t *testing.T) {
+	// Collapse the window far below ssthresh, then run cleanly: the
+	// recovery ramp must fire and restore throughput quickly.
+	in := simtest.NewIncast(42, bw100G, []eventq.Time{eventq.Microsecond}, simtest.PortConfig())
+	intraRTT := in.BaseRTT(0, 4096, bw100G)
+	cc := ccFor(in, 0, intraRTT)
+	conn := startFlow(t, in, 0, 1, 64<<20, cc, nil)
+	in.Net.Sched.RunUntil(200 * eventq.Microsecond)
+	// Simulate a deep external collapse.
+	conn.SetCwnd(float64(conn.MTUWire()))
+	before := cc.Ramps
+	in.Net.Sched.RunUntil(3 * eventq.Millisecond)
+	if cc.Ramps <= before {
+		t.Fatal("recovery ramp never fired after a collapse")
+	}
+	if conn.Cwnd() < cc.Config().BDP/4 {
+		t.Fatalf("window did not recover: %v of BDP %v", conn.Cwnd(), cc.Config().BDP)
+	}
+}
+
+func TestUnoCCNameAndConfigRoundTrip(t *testing.T) {
+	cc := NewUnoCC(CCConfig{BDP: 2e6, IntraBDP: 1e5, BaseRTT: 20 * eventq.Microsecond})
+	if cc.Name() != "unocc" {
+		t.Fatalf("name = %q", cc.Name())
+	}
+	got := cc.Config()
+	if got.BDP != 2e6 || got.K != 1e5/7 {
+		t.Fatalf("config round trip: %+v", got)
+	}
+}
+
+func TestSystemDefaults(t *testing.T) {
+	sys := System{LinkBps: 100e9, IntraRTT: 14 * eventq.Microsecond}
+	params, _, _ := sys.Policies(true, 2*eventq.Millisecond)
+	if params.EC.Data != 8 || params.EC.Parity != 2 {
+		t.Fatalf("EC default = %+v", params.EC)
+	}
+	if params.EC.BlockTimeout != 2*eventq.Millisecond {
+		t.Fatalf("block timeout = %v", params.EC.BlockTimeout)
+	}
+	// Reordering tolerance for subflow spraying.
+	if params.DupAckThresh != 24 {
+		t.Fatalf("dup threshold = %d", params.DupAckThresh)
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"uno/internal/eventq"
+	"uno/internal/netsim"
+	"uno/internal/simtest"
+	"uno/internal/transport"
+)
+
+func parallelFlow(t *testing.T, p *simtest.Parallel, id int64, size int64,
+	params transport.Params, cc transport.CongestionControl, lb transport.PathSelector) *transport.Conn {
+	t.Helper()
+	flow := &transport.Flow{
+		ID: netsim.FlowID(id), Src: p.A, Dst: p.B, Size: size, Start: p.Net.Now(),
+	}
+	conn, err := transport.Start(p.EpA, p.EpB, flow, params, cc, lb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func TestUnoLBRoundRobinAssignment(t *testing.T) {
+	p := simtest.NewParallel(1, bw100G, 8, eventq.Microsecond)
+	lb := &UnoLB{Subflows: 4}
+	// Wrap the receive handler with a tap that records each data packet's
+	// subflow before forwarding it to the endpoint.
+	var assigned []int8
+	p.B.SetHandler(func(pkt *netsim.Packet) {
+		if pkt.Type == netsim.Data {
+			assigned = append(assigned, pkt.Subflow)
+		}
+		p.EpB.Handle(pkt)
+	})
+	params := transport.Params{MTU: 4096, BaseRTT: 10 * eventq.Microsecond, DupAckThresh: 64}
+	conn := parallelFlow(t, p, 1, 12*4096, params, &transport.FixedWindow{Window: 1 << 20}, lb)
+	p.Net.Sched.RunUntil(eventq.Second)
+	if !conn.Completed() {
+		t.Fatal("flow did not complete")
+	}
+	if len(assigned) < 12 {
+		t.Fatalf("observed %d data packets", len(assigned))
+	}
+	for i := 0; i < 12; i++ {
+		if assigned[i] != int8(i%4) {
+			t.Fatalf("packet %d on subflow %d, want %d (round robin)", i, assigned[i], i%4)
+		}
+	}
+}
+
+func TestUnoLBSpreadsBlockAcrossPaths(t *testing.T) {
+	p := simtest.NewParallel(2, bw100G, 8, eventq.Microsecond)
+	lb := &UnoLB{Subflows: 8}
+	params := transport.Params{
+		MTU: 4096, BaseRTT: 10 * eventq.Microsecond, DupAckThresh: 64,
+		EC: transport.ECConfig{Data: 8, Parity: 2, BlockTimeout: 100 * eventq.Microsecond},
+	}
+	conn := parallelFlow(t, p, 1, 8*4096, params, &transport.FixedWindow{Window: 1 << 20}, lb)
+	p.Net.Sched.RunUntil(eventq.Second)
+	if !conn.Completed() {
+		t.Fatal("flow did not complete")
+	}
+	// One block of 10 packets over 8 subflows. The 8 random entropies
+	// hash onto 8 paths with birthday collisions (≈5.2 distinct paths in
+	// expectation), so require at least 4 — single-path ECMP would use 1.
+	used := 0
+	for _, l := range p.Paths {
+		if l.Stats().Delivered > 0 {
+			used++
+		}
+	}
+	if used < 4 {
+		t.Fatalf("block spread over %d/8 paths", used)
+	}
+}
+
+func TestUnoLBRerouteRateLimited(t *testing.T) {
+	p := simtest.NewParallel(3, bw100G, 8, eventq.Microsecond)
+	lb := &UnoLB{Subflows: 4}
+	params := transport.Params{MTU: 4096, BaseRTT: 100 * eventq.Microsecond}
+	conn := parallelFlow(t, p, 1, 4096, params, &transport.FixedWindow{Window: 1 << 20}, lb)
+	p.Net.Sched.RunUntil(eventq.Second)
+
+	// Two NACK signals back-to-back: only the first may reroute.
+	lb.OnNack(conn)
+	lb.OnNack(conn)
+	if lb.Reroutes != 1 {
+		t.Fatalf("reroutes = %d, want 1 (rate limit)", lb.Reroutes)
+	}
+}
+
+func TestUnoLBRerouteUsesHealthyDonor(t *testing.T) {
+	p := simtest.NewParallel(4, bw100G, 8, eventq.Microsecond)
+	lb := &UnoLB{Subflows: 4}
+	params := transport.Params{MTU: 4096, BaseRTT: 100 * eventq.Microsecond}
+	conn := parallelFlow(t, p, 1, 4096, params, &transport.FixedWindow{Window: 1 << 20}, lb)
+	p.Net.Sched.RunUntil(eventq.Second)
+
+	// Mark subflow 2 as the only recently-healthy one; 0 is stalest.
+	now := p.Net.Now()
+	lb.OnAck(conn, transport.AckInfo{Now: now}, 2, 0)
+	before := lb.Entropies()
+	lb.OnNack(conn)
+	after := lb.Entropies()
+	// The stalest subflow adopted the healthy donor's entropy.
+	changed := -1
+	for i := range before {
+		if before[i] != after[i] {
+			changed = i
+		}
+	}
+	if changed < 0 {
+		t.Fatal("no subflow rerouted")
+	}
+	if after[changed] != before[2] {
+		t.Fatalf("rerouted subflow %d got entropy %d, want donor's %d",
+			changed, after[changed], before[2])
+	}
+}
+
+func TestUnoLBRerouteFallsBackToRandom(t *testing.T) {
+	// With no recently-ACKed subflow, the reroute must draw a fresh random
+	// entropy rather than cloning a (stale) donor.
+	p := simtest.NewParallel(6, bw100G, 8, eventq.Microsecond)
+	lb := &UnoLB{Subflows: 4}
+	params := transport.Params{MTU: 4096, BaseRTT: 50 * eventq.Microsecond}
+	conn := parallelFlow(t, p, 1, 4096, params, &transport.FixedWindow{Window: 1 << 20}, lb)
+	p.Net.Sched.RunUntil(eventq.Second) // flow done; all lastAck stale
+
+	// Advance well past the freshness window.
+	p.Net.Sched.RunUntil(p.Net.Now() + eventq.Second)
+	before := lb.Entropies()
+	lb.OnTimeout(conn)
+	after := lb.Entropies()
+	if lb.Reroutes != 1 {
+		t.Fatalf("reroutes = %d", lb.Reroutes)
+	}
+	changed := -1
+	for i := range before {
+		if before[i] != after[i] {
+			changed = i
+		}
+	}
+	if changed < 0 {
+		t.Fatal("no entropy changed")
+	}
+	for i, e := range before {
+		if after[changed] == e && i != changed {
+			t.Fatal("fallback cloned a stale subflow's entropy")
+		}
+	}
+}
+
+func TestUnoLBSurvivesPathFailure(t *testing.T) {
+	// Fail one of 8 parallel paths mid-flow: EC + UnoLB must finish the
+	// transfer and reroute away from the dead path.
+	p := simtest.NewParallel(5, bw100G, 8, eventq.Microsecond)
+	lb := &UnoLB{Subflows: 8}
+	params := transport.Params{
+		MTU: 4096, BaseRTT: 10 * eventq.Microsecond, DupAckThresh: 64,
+		MinRTO: 200 * eventq.Microsecond,
+		EC:     transport.ECConfig{Data: 8, Parity: 2, BlockTimeout: 50 * eventq.Microsecond},
+	}
+	p.Net.Sched.Schedule(5*eventq.Microsecond, func() { p.Paths[3].SetUp(false) })
+	conn := parallelFlow(t, p, 1, 4<<20, params, &transport.FixedWindow{Window: 256 * 4160}, lb)
+	p.Net.Sched.RunUntil(2 * eventq.Second)
+	if !conn.Completed() {
+		t.Fatalf("flow did not survive path failure (stats %+v)", conn.Stats())
+	}
+}
+
+func TestSystemPolicies(t *testing.T) {
+	sys := System{LinkBps: 100e9, IntraRTT: 14 * eventq.Microsecond}
+	// Inter-DC flow gets EC and UnoLB.
+	params, cc, lb := sys.Policies(true, 2*eventq.Millisecond)
+	if !params.EC.Enabled() || params.EC.Data != 8 || params.EC.Parity != 2 {
+		t.Fatalf("inter-DC params missing EC: %+v", params.EC)
+	}
+	if _, ok := cc.(*UnoCC); !ok {
+		t.Fatalf("cc = %T", cc)
+	}
+	if _, ok := lb.(*UnoLB); !ok {
+		t.Fatalf("lb = %T", lb)
+	}
+	ucc := cc.(*UnoCC)
+	if ucc.Config().EpochPeriod != 14*eventq.Microsecond {
+		t.Fatalf("epoch period = %v, want intra RTT", ucc.Config().EpochPeriod)
+	}
+	// Intra-DC flow: no EC.
+	params, _, _ = sys.Policies(false, 14*eventq.Microsecond)
+	if params.EC.Enabled() {
+		t.Fatal("intra-DC flow got EC")
+	}
+	// ECMP variant.
+	sys.UseECMP = true
+	_, _, lb = sys.Policies(true, 2*eventq.Millisecond)
+	if _, ok := lb.(*transport.FixedEntropy); !ok {
+		t.Fatalf("ECMP variant lb = %T", lb)
+	}
+	// DisableEC variant.
+	sys.DisableEC = true
+	params, _, _ = sys.Policies(true, 2*eventq.Millisecond)
+	if params.EC.Enabled() {
+		t.Fatal("DisableEC variant still has EC")
+	}
+	// Per-flow epoch ablation.
+	sys.PerFlowEpochs = true
+	_, cc, _ = sys.Policies(true, 2*eventq.Millisecond)
+	if cc.(*UnoCC).Config().EpochPeriod != 2*eventq.Millisecond {
+		t.Fatal("PerFlowEpochs did not take effect")
+	}
+}

@@ -1,0 +1,89 @@
+package ec
+
+import (
+	"testing"
+
+	"uno/internal/rng"
+)
+
+func TestVerifyErrorsOnBadShards(t *testing.T) {
+	c := MustNew(4, 2)
+	shards := make([][]byte, c.Total())
+	for i := range shards {
+		shards[i] = make([]byte, 8)
+	}
+	// nil shard is not acceptable for Verify.
+	shards[0] = nil
+	if _, err := c.Verify(shards); err != ErrShardSize {
+		t.Fatalf("Verify with nil shard: %v", err)
+	}
+	// Empty shard is invalid everywhere.
+	shards[0] = []byte{}
+	if _, err := c.Verify(shards); err != ErrShardSize {
+		t.Fatalf("Verify with empty shard: %v", err)
+	}
+}
+
+func TestReconstructAllNil(t *testing.T) {
+	c := MustNew(4, 2)
+	shards := make([][]byte, c.Total())
+	if err := c.Reconstruct(shards); err != ErrTooFewShards {
+		t.Fatalf("Reconstruct of all-nil: %v", err)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	c := MustNew(4, 2)
+	if _, err := c.Join(make([][]byte, 2), 10); err != ErrShardCountArgs {
+		t.Fatalf("short join: %v", err)
+	}
+	shards := make([][]byte, c.Total())
+	for i := range shards {
+		shards[i] = make([]byte, 4)
+	}
+	shards[1] = nil
+	if _, err := c.Join(shards, 16); err != ErrTooFewShards {
+		t.Fatalf("join with nil data shard: %v", err)
+	}
+	// Requested length beyond available data.
+	full := make([][]byte, c.Total())
+	for i := range full {
+		full[i] = make([]byte, 4)
+	}
+	if _, err := c.Join(full, 17); err != ErrShardSize {
+		t.Fatalf("overlong join: %v", err)
+	}
+}
+
+func TestMustNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0, 1) did not panic")
+		}
+	}()
+	MustNew(0, 1)
+}
+
+func TestZeroParityCodec(t *testing.T) {
+	// Parity 0 is legal: encode is a no-op, reconstruct needs all shards.
+	c := MustNew(4, 0)
+	r := rng.New(1)
+	shards := make([][]byte, 4)
+	for i := range shards {
+		shards[i] = make([]byte, 8)
+		for j := range shards[i] {
+			shards[i][j] = byte(r.Uint64())
+		}
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Verify(shards); err != nil || !ok {
+		t.Fatalf("verify: %v %v", ok, err)
+	}
+	lost := append([][]byte(nil), shards...)
+	lost[2] = nil
+	if err := c.Reconstruct(lost); err != ErrTooFewShards {
+		t.Fatalf("zero-parity reconstruct with loss: %v", err)
+	}
+}

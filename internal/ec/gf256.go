@@ -1,0 +1,126 @@
+// Package ec implements the Maximum Distance Separable (MDS) erasure code
+// used by UnoRC (paper §3.3, §4.2). It is a systematic Reed-Solomon code
+// over GF(2^8): a block of x data packets is extended with y parity packets
+// and the block can be reconstructed from any x of the x+y packets.
+//
+// The simulator consumes only the code's recoverability semantics (how many
+// losses a block tolerates), but the codec here is a complete, real
+// implementation — Encode produces actual parity bytes and Reconstruct
+// recovers actual data bytes — so that a downstream user can deploy UnoRC's
+// software shim (paper §6 "Hardware implementation") directly.
+package ec
+
+// GF(2^8) arithmetic with the AES/Rijndael-compatible reducing polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the polynomial conventionally used by
+// storage Reed-Solomon implementations.
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // gfExp[i] = g^i, doubled so Mul can skip a mod
+	gfLog [256]byte // gfLog[x] = log_g(x); gfLog[0] is unused
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfAdd returns a+b in GF(2^8) (which is XOR; subtraction is identical).
+func gfAdd(a, b byte) byte { return a ^ b }
+
+// gfMul returns a*b in GF(2^8).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv returns a/b in GF(2^8). It panics on division by zero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("ec: division by zero in GF(2^8)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a. It panics if a == 0.
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("ec: zero has no inverse in GF(2^8)")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfPow returns a^n in GF(2^8) (with 0^0 = 1).
+func gfPow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	l := int(gfLog[a]) * n % 255
+	return gfExp[l]
+}
+
+// mulTable returns the 256-entry multiplication row for constant c. Rows are
+// cached so the hot encode/decode loops are one table lookup per byte.
+var mulRows [256]*[256]byte
+
+func mulTable(c byte) *[256]byte {
+	if row := mulRows[c]; row != nil {
+		return row
+	}
+	row := new([256]byte)
+	for x := 0; x < 256; x++ {
+		row[x] = gfMul(c, byte(x))
+	}
+	mulRows[c] = row
+	return row
+}
+
+// mulAddSlice computes dst[i] ^= c * src[i] for all i. len(dst) must equal
+// len(src); c == 0 is a no-op.
+func mulAddSlice(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	row := mulTable(c)
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// mulSlice computes dst[i] = c * src[i] for all i.
+func mulSlice(dst, src []byte, c byte) {
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	row := mulTable(c)
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}

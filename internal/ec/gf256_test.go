@@ -1,0 +1,151 @@
+package ec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for x := 1; x < 256; x++ {
+		if got := gfExp[gfLog[x]]; got != byte(x) {
+			t.Fatalf("exp(log(%d)) = %d", x, got)
+		}
+	}
+}
+
+func TestMulAgainstSchoolbook(t *testing.T) {
+	// Carry-less multiply-and-reduce reference implementation.
+	ref := func(a, b byte) byte {
+		var p uint16
+		aa, bb := uint16(a), uint16(b)
+		for i := 0; i < 8; i++ {
+			if bb&1 != 0 {
+				p ^= aa
+			}
+			bb >>= 1
+			aa <<= 1
+			if aa&0x100 != 0 {
+				aa ^= gfPoly
+			}
+		}
+		return byte(p)
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := gfMul(byte(a), byte(b)), ref(byte(a), byte(b)); got != want {
+				t.Fatalf("gfMul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	// Commutativity, associativity, distributivity over random triples.
+	f := func(a, b, c byte) bool {
+		if gfMul(a, b) != gfMul(b, a) {
+			return false
+		}
+		if gfMul(gfMul(a, b), c) != gfMul(a, gfMul(b, c)) {
+			return false
+		}
+		if gfMul(a, gfAdd(b, c)) != gfAdd(gfMul(a, b), gfMul(a, c)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for x := 1; x < 256; x++ {
+		inv := gfInv(byte(x))
+		if gfMul(byte(x), inv) != 1 {
+			t.Fatalf("x * x^-1 != 1 for x=%d (inv=%d)", x, inv)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gfInv(0) did not panic")
+		}
+	}()
+	gfInv(0)
+}
+
+func TestDiv(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		q := gfDiv(a, b)
+		return gfMul(q, b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gfDiv(1, 0) did not panic")
+		}
+	}()
+	gfDiv(1, 0)
+}
+
+func TestPow(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		acc := byte(1)
+		for n := 0; n < 10; n++ {
+			if got := gfPow(byte(a), n); got != acc {
+				t.Fatalf("gfPow(%d,%d) = %d, want %d", a, n, got, acc)
+			}
+			acc = gfMul(acc, byte(a))
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 255, 0, 17}
+	dst := []byte{9, 9, 9, 9, 9, 9}
+	want := make([]byte, len(src))
+	for i := range src {
+		want[i] = dst[i] ^ gfMul(7, src[i])
+	}
+	mulAddSlice(dst, src, 7)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("mulAddSlice[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	// c == 0 must be a no-op.
+	before := append([]byte(nil), dst...)
+	mulAddSlice(dst, src, 0)
+	for i := range dst {
+		if dst[i] != before[i] {
+			t.Fatal("mulAddSlice with c=0 modified dst")
+		}
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 128, 255}
+	dst := make([]byte, len(src))
+	mulSlice(dst, src, 3)
+	for i := range src {
+		if dst[i] != gfMul(3, src[i]) {
+			t.Fatalf("mulSlice[%d] wrong", i)
+		}
+	}
+	mulSlice(dst, src, 0)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatal("mulSlice with c=0 must zero dst")
+		}
+	}
+}

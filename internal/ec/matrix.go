@@ -1,0 +1,140 @@
+package ec
+
+import "fmt"
+
+// matrix is a dense row-major matrix over GF(2^8).
+type matrix struct {
+	rows, cols int
+	data       []byte // rows*cols, row-major
+}
+
+func newMatrix(rows, cols int) matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("ec: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+func identityMatrix(n int) matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.set(i, i, 1)
+	}
+	return m
+}
+
+// vandermonde returns the rows×cols matrix with entry (r, c) = r^c.
+// Any cols distinct rows of it are linearly independent, which is the MDS
+// property the code relies on.
+func vandermonde(rows, cols int) matrix {
+	m := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.set(r, c, gfPow(byte(r), c))
+		}
+	}
+	return m
+}
+
+func (m matrix) at(r, c int) byte     { return m.data[r*m.cols+c] }
+func (m matrix) set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+func (m matrix) row(r int) []byte     { return m.data[r*m.cols : (r+1)*m.cols] }
+func (m matrix) swapRows(i, j int) {
+	ri, rj := m.row(i), m.row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// mul returns m × other.
+func (m matrix) mul(other matrix) matrix {
+	if m.cols != other.rows {
+		panic(fmt.Sprintf("ec: matrix dimension mismatch %dx%d × %dx%d",
+			m.rows, m.cols, other.rows, other.cols))
+	}
+	out := newMatrix(m.rows, other.cols)
+	for r := 0; r < m.rows; r++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.at(r, k)
+			if a == 0 {
+				continue
+			}
+			mulAddSlice(out.row(r), other.row(k), a)
+		}
+	}
+	return out
+}
+
+// subMatrix returns a copy of rows [r0,r1) × cols [c0,c1).
+func (m matrix) subMatrix(r0, r1, c0, c1 int) matrix {
+	out := newMatrix(r1-r0, c1-c0)
+	for r := r0; r < r1; r++ {
+		copy(out.row(r-r0), m.row(r)[c0:c1])
+	}
+	return out
+}
+
+// invert returns the inverse of a square matrix via Gauss-Jordan
+// elimination, or an error if the matrix is singular.
+func (m matrix) invert() (matrix, error) {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("ec: cannot invert non-square %dx%d matrix", m.rows, m.cols))
+	}
+	n := m.rows
+	// Work on [m | I].
+	work := newMatrix(n, 2*n)
+	for r := 0; r < n; r++ {
+		copy(work.row(r), m.row(r))
+		work.set(r, n+r, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return matrix{}, fmt.Errorf("ec: singular matrix")
+		}
+		if pivot != col {
+			work.swapRows(pivot, col)
+		}
+		// Normalize the pivot row.
+		if p := work.at(col, col); p != 1 {
+			inv := gfInv(p)
+			mulSlice(work.row(col), work.row(col), inv)
+		}
+		// Eliminate the column everywhere else.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := work.at(r, col); f != 0 {
+				mulAddSlice(work.row(r), work.row(col), f)
+			}
+		}
+	}
+	return work.subMatrix(0, n, n, 2*n), nil
+}
+
+// isIdentity reports whether m is the identity matrix.
+func (m matrix) isIdentity() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if m.at(r, c) != want {
+				return false
+			}
+		}
+	}
+	return true
+}

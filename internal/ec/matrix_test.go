@@ -1,0 +1,140 @@
+package ec
+
+import (
+	"testing"
+
+	"uno/internal/rng"
+)
+
+func randomInvertible(r *rng.Rand, n int) matrix {
+	for {
+		m := newMatrix(n, n)
+		for i := range m.data {
+			m.data[i] = byte(r.Uint64())
+		}
+		if _, err := m.invert(); err == nil {
+			return m
+		}
+	}
+}
+
+func TestIdentityMatrix(t *testing.T) {
+	id := identityMatrix(5)
+	if !id.isIdentity() {
+		t.Fatal("identityMatrix is not identity")
+	}
+	inv, err := id.invert()
+	if err != nil || !inv.isIdentity() {
+		t.Fatalf("identity inverse: %v", err)
+	}
+}
+
+func TestMulByIdentity(t *testing.T) {
+	r := rng.New(1)
+	m := newMatrix(4, 4)
+	for i := range m.data {
+		m.data[i] = byte(r.Uint64())
+	}
+	got := m.mul(identityMatrix(4))
+	for i := range got.data {
+		if got.data[i] != m.data[i] {
+			t.Fatal("M × I != M")
+		}
+	}
+	got = identityMatrix(4).mul(m)
+	for i := range got.data {
+		if got.data[i] != m.data[i] {
+			t.Fatal("I × M != M")
+		}
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	r := rng.New(2)
+	for _, n := range []int{1, 2, 3, 5, 8, 12} {
+		m := randomInvertible(r, n)
+		inv, err := m.invert()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.mul(inv).isIdentity() {
+			t.Fatalf("n=%d: M × M⁻¹ != I", n)
+		}
+		if !inv.mul(m).isIdentity() {
+			t.Fatalf("n=%d: M⁻¹ × M != I", n)
+		}
+	}
+}
+
+func TestSingularMatrixDetected(t *testing.T) {
+	m := newMatrix(3, 3)
+	// Two identical rows.
+	for c := 0; c < 3; c++ {
+		m.set(0, c, byte(c+1))
+		m.set(1, c, byte(c+1))
+		m.set(2, c, byte(7*c+3))
+	}
+	if _, err := m.invert(); err == nil {
+		t.Fatal("singular matrix inverted without error")
+	}
+}
+
+func TestVandermondeSquareInvertible(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		v := vandermonde(n, n)
+		if _, err := v.invert(); err != nil {
+			t.Fatalf("square Vandermonde %d×%d singular: %v", n, n, err)
+		}
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := newMatrix(4, 4)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			m.set(r, c, byte(r*4+c))
+		}
+	}
+	sub := m.subMatrix(1, 3, 2, 4)
+	if sub.rows != 2 || sub.cols != 2 {
+		t.Fatalf("sub dims %dx%d", sub.rows, sub.cols)
+	}
+	if sub.at(0, 0) != 6 || sub.at(1, 1) != 11 {
+		t.Fatalf("sub contents wrong: %v", sub.data)
+	}
+	// Sub matrices are copies.
+	sub.set(0, 0, 99)
+	if m.at(1, 2) == 99 {
+		t.Fatal("subMatrix aliases parent")
+	}
+}
+
+func TestSwapRows(t *testing.T) {
+	m := newMatrix(2, 3)
+	for c := 0; c < 3; c++ {
+		m.set(0, c, byte(c))
+		m.set(1, c, byte(10+c))
+	}
+	m.swapRows(0, 1)
+	if m.at(0, 0) != 10 || m.at(1, 0) != 0 {
+		t.Fatal("swapRows failed")
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	newMatrix(2, 3).mul(newMatrix(2, 3))
+}
+
+func TestNewMatrixRejectsZeroDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-dim matrix did not panic")
+		}
+	}()
+	newMatrix(0, 3)
+}

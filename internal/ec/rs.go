@@ -1,0 +1,270 @@
+package ec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Codec is a systematic Reed-Solomon erasure codec with Data data shards and
+// Parity parity shards per block. The paper's default scheme is (8, 2): ten
+// packets per block, any eight of which reconstruct the block.
+//
+// A Codec is immutable after New and safe for concurrent use by multiple
+// goroutines (the package-level multiplication tables are built lazily but
+// idempotently; call Warmup from a single goroutine first if encoding from
+// many goroutines at once).
+type Codec struct {
+	Data   int // number of data shards (x in the paper)
+	Parity int // number of parity shards (y in the paper)
+
+	// encode holds the full (Data+Parity)×Data generator matrix. Its top
+	// Data rows are the identity (systematic code); the bottom Parity rows
+	// generate the parity shards.
+	encode matrix
+}
+
+// Errors returned by the codec.
+var (
+	ErrTooFewShards   = errors.New("ec: too few shards present to reconstruct")
+	ErrShardSize      = errors.New("ec: shards must be non-empty and equally sized")
+	ErrInvalidCounts  = errors.New("ec: shard counts must be positive and total at most 256")
+	ErrShardCountArgs = errors.New("ec: wrong number of shards supplied")
+)
+
+// New builds a codec with the given shard counts. data+parity must not
+// exceed 256 (the field size).
+func New(data, parity int) (*Codec, error) {
+	if data <= 0 || parity < 0 || data+parity > 256 {
+		return nil, ErrInvalidCounts
+	}
+	n := data + parity
+	// Build a systematic generator matrix [I; C] with Cauchy parity rows
+	// C[p][d] = 1/(x_p + y_d) where the x and y evaluation points are
+	// disjoint field elements. Unlike the Vandermonde-times-inverse
+	// construction, [I; C] with a Cauchy block is provably MDS for every
+	// (data, parity) with data+parity <= 256: any data rows are invertible.
+	g := newMatrix(n, data)
+	for d := 0; d < data; d++ {
+		g.set(d, d, 1)
+	}
+	for p := 0; p < parity; p++ {
+		for d := 0; d < data; d++ {
+			g.set(data+p, d, gfInv(byte(data+p)^byte(d)))
+		}
+	}
+	return &Codec{Data: data, Parity: parity, encode: g}, nil
+}
+
+// MustNew is New for statically known-good parameters.
+func MustNew(data, parity int) *Codec {
+	c, err := New(data, parity)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Total returns the number of shards per block (data + parity).
+func (c *Codec) Total() int { return c.Data + c.Parity }
+
+// Overhead returns the fractional redundancy added by the code, e.g. 0.25
+// for (8, 2).
+func (c *Codec) Overhead() float64 { return float64(c.Parity) / float64(c.Data) }
+
+// Warmup precomputes the GF multiplication rows used by the generator
+// matrix so that subsequent Encode/Reconstruct calls are read-only on
+// package state (and therefore safe to run concurrently).
+func (c *Codec) Warmup() {
+	for _, v := range c.encode.data {
+		mulTable(v)
+	}
+	for i := 0; i < 256; i++ {
+		mulTable(byte(i))
+	}
+}
+
+func (c *Codec) checkShards(shards [][]byte, allowNil bool) (int, error) {
+	if len(shards) != c.Total() {
+		return 0, ErrShardCountArgs
+	}
+	size := 0
+	for _, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return 0, ErrShardSize
+			}
+			continue
+		}
+		if len(s) == 0 {
+			return 0, ErrShardSize
+		}
+		if size == 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, ErrShardSize
+		}
+	}
+	if size == 0 {
+		return 0, ErrTooFewShards
+	}
+	return size, nil
+}
+
+// Encode fills the parity shards. shards must contain Data+Parity slices of
+// equal, non-zero length; the first Data hold the data and the last Parity
+// are overwritten with parity bytes.
+func (c *Codec) Encode(shards [][]byte) error {
+	if _, err := c.checkShards(shards, false); err != nil {
+		return err
+	}
+	for p := 0; p < c.Parity; p++ {
+		row := c.encode.row(c.Data + p)
+		out := shards[c.Data+p]
+		mulSlice(out, shards[0], row[0])
+		for d := 1; d < c.Data; d++ {
+			mulAddSlice(out, shards[d], row[d])
+		}
+	}
+	return nil
+}
+
+// Verify reports whether the parity shards are consistent with the data
+// shards.
+func (c *Codec) Verify(shards [][]byte) (bool, error) {
+	size, err := c.checkShards(shards, false)
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, size)
+	for p := 0; p < c.Parity; p++ {
+		row := c.encode.row(c.Data + p)
+		mulSlice(buf, shards[0], row[0])
+		for d := 1; d < c.Data; d++ {
+			mulAddSlice(buf, shards[d], row[d])
+		}
+		want := shards[c.Data+p]
+		for i := range buf {
+			if buf[i] != want[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct recovers all missing shards in place. Missing shards are
+// represented by nil entries; at least Data shards must be present.
+// Surviving shards are never modified.
+func (c *Codec) Reconstruct(shards [][]byte) error {
+	size, err := c.checkShards(shards, true)
+	if err != nil {
+		return err
+	}
+	present := 0
+	for _, s := range shards {
+		if s != nil {
+			present++
+		}
+	}
+	if present < c.Data {
+		return ErrTooFewShards
+	}
+	if present == c.Total() {
+		return nil // nothing to do
+	}
+
+	// Pick the first Data present shards; the corresponding rows of the
+	// generator matrix form an invertible Data×Data matrix (MDS property).
+	sub := newMatrix(c.Data, c.Data)
+	subShards := make([][]byte, c.Data)
+	n := 0
+	for i := 0; i < c.Total() && n < c.Data; i++ {
+		if shards[i] == nil {
+			continue
+		}
+		copy(sub.row(n), c.encode.row(i))
+		subShards[n] = shards[i]
+		n++
+	}
+	dec, err := sub.invert()
+	if err != nil {
+		// Cannot happen for an MDS generator matrix.
+		return fmt.Errorf("ec: internal: %w", err)
+	}
+
+	// Recover missing data shards: data[d] = dec.row(d) · subShards.
+	for d := 0; d < c.Data; d++ {
+		if shards[d] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := dec.row(d)
+		for k := 0; k < c.Data; k++ {
+			mulAddSlice(out, subShards[k], row[k])
+		}
+		shards[d] = out
+	}
+	// Recover missing parity shards from the (now complete) data shards.
+	for p := 0; p < c.Parity; p++ {
+		idx := c.Data + p
+		if shards[idx] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.encode.row(idx)
+		for k := 0; k < c.Data; k++ {
+			mulAddSlice(out, shards[k], row[k])
+		}
+		shards[idx] = out
+	}
+	return nil
+}
+
+// Split carves a message into Data equally sized shards (zero-padding the
+// tail) and appends Parity empty shards ready for Encode. The returned
+// shard size is ceil(len(msg)/Data).
+func (c *Codec) Split(msg []byte) [][]byte {
+	if len(msg) == 0 {
+		msg = []byte{0}
+	}
+	shardSize := (len(msg) + c.Data - 1) / c.Data
+	shards := make([][]byte, c.Total())
+	for i := 0; i < c.Data; i++ {
+		shards[i] = make([]byte, shardSize)
+		lo := i * shardSize
+		if lo < len(msg) {
+			hi := lo + shardSize
+			if hi > len(msg) {
+				hi = len(msg)
+			}
+			copy(shards[i], msg[lo:hi])
+		}
+	}
+	for i := c.Data; i < c.Total(); i++ {
+		shards[i] = make([]byte, shardSize)
+	}
+	return shards
+}
+
+// Join concatenates the data shards and truncates to msgLen, inverting
+// Split.
+func (c *Codec) Join(shards [][]byte, msgLen int) ([]byte, error) {
+	if len(shards) < c.Data {
+		return nil, ErrShardCountArgs
+	}
+	out := make([]byte, 0, msgLen)
+	for i := 0; i < c.Data && len(out) < msgLen; i++ {
+		if shards[i] == nil {
+			return nil, ErrTooFewShards
+		}
+		need := msgLen - len(out)
+		if need > len(shards[i]) {
+			need = len(shards[i])
+		}
+		out = append(out, shards[i][:need]...)
+	}
+	if len(out) != msgLen {
+		return nil, ErrShardSize
+	}
+	return out, nil
+}

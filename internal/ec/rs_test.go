@@ -1,0 +1,355 @@
+package ec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uno/internal/rng"
+)
+
+// quickRandSource adapts our deterministic generator into the *rand.Rand
+// that testing/quick expects, keeping property tests reproducible.
+func quickRandSource(r *rng.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(int64(r.Uint64())))
+}
+
+func fillRandom(r *rng.Rand, shards [][]byte, n int) {
+	for i := 0; i < n; i++ {
+		for j := range shards[i] {
+			shards[i][j] = byte(r.Uint64())
+		}
+	}
+}
+
+func TestNewRejectsBadCounts(t *testing.T) {
+	cases := []struct{ d, p int }{{0, 2}, {-1, 2}, {8, -1}, {250, 10}}
+	for _, c := range cases {
+		if _, err := New(c.d, c.p); err == nil {
+			t.Errorf("New(%d,%d) succeeded, want error", c.d, c.p)
+		}
+	}
+	if _, err := New(8, 2); err != nil {
+		t.Fatalf("New(8,2): %v", err)
+	}
+	if _, err := New(200, 56); err != nil {
+		t.Fatalf("New(200,56): %v", err)
+	}
+}
+
+func TestOverheadAndTotal(t *testing.T) {
+	c := MustNew(8, 2)
+	if c.Total() != 10 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if c.Overhead() != 0.25 {
+		t.Fatalf("Overhead = %v", c.Overhead())
+	}
+}
+
+func TestEncodeVerify(t *testing.T) {
+	c := MustNew(8, 2)
+	r := rng.New(1)
+	shards := make([][]byte, c.Total())
+	for i := range shards {
+		shards[i] = make([]byte, 64)
+	}
+	fillRandom(r, shards, c.Data)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("Verify = %v, %v", ok, err)
+	}
+	// Corrupt one byte: verification must fail.
+	shards[3][10] ^= 0x5a
+	ok, err = c.Verify(shards)
+	if err != nil || ok {
+		t.Fatalf("Verify of corrupted block = %v, %v; want false", ok, err)
+	}
+}
+
+// TestAllErasurePatterns82 exhaustively checks the paper's (8, 2) scheme:
+// every way of losing up to 2 of the 10 packets must reconstruct exactly.
+func TestAllErasurePatterns82(t *testing.T) {
+	c := MustNew(8, 2)
+	r := rng.New(2)
+	orig := make([][]byte, c.Total())
+	for i := range orig {
+		orig[i] = make([]byte, 32)
+	}
+	fillRandom(r, orig, c.Data)
+	if err := c.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	try := func(lost []int) {
+		shards := make([][]byte, c.Total())
+		for i := range shards {
+			shards[i] = append([]byte(nil), orig[i]...)
+		}
+		for _, l := range lost {
+			shards[l] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("Reconstruct with lost=%v: %v", lost, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("shard %d mismatch after losing %v", i, lost)
+			}
+		}
+	}
+	for i := 0; i < c.Total(); i++ {
+		try([]int{i})
+		for j := i + 1; j < c.Total(); j++ {
+			try([]int{i, j})
+		}
+	}
+}
+
+func TestTooManyErasures(t *testing.T) {
+	c := MustNew(8, 2)
+	r := rng.New(3)
+	shards := make([][]byte, c.Total())
+	for i := range shards {
+		shards[i] = make([]byte, 16)
+	}
+	fillRandom(r, shards, c.Data)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[1], shards[2] = nil, nil, nil
+	if err := c.Reconstruct(shards); err != ErrTooFewShards {
+		t.Fatalf("Reconstruct with 3 losses on (8,2): err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestReconstructNoopWhenComplete(t *testing.T) {
+	c := MustNew(4, 2)
+	r := rng.New(4)
+	shards := make([][]byte, c.Total())
+	for i := range shards {
+		shards[i] = make([]byte, 8)
+	}
+	fillRandom(r, shards, c.Data)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	before := make([][]byte, len(shards))
+	for i := range shards {
+		before[i] = append([]byte(nil), shards[i]...)
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], before[i]) {
+			t.Fatal("Reconstruct modified a complete block")
+		}
+	}
+}
+
+func TestShardSizeValidation(t *testing.T) {
+	c := MustNew(4, 2)
+	shards := make([][]byte, c.Total())
+	for i := range shards {
+		shards[i] = make([]byte, 8)
+	}
+	shards[2] = make([]byte, 9)
+	if err := c.Encode(shards); err != ErrShardSize {
+		t.Fatalf("mismatched shard size: err = %v", err)
+	}
+	if err := c.Encode(shards[:3]); err != ErrShardCountArgs {
+		t.Fatalf("short shard slice: err = %v", err)
+	}
+}
+
+// TestRoundTripProperty: random (x, y), random data, random recoverable
+// erasure pattern — reconstruction is always exact.
+func TestRoundTripProperty(t *testing.T) {
+	r := rng.New(5)
+	f := func(dRaw, pRaw uint8, size uint8, seed uint64) bool {
+		data := int(dRaw%16) + 1  // 1..16
+		parity := int(pRaw%5) + 1 // 1..5
+		shardLen := int(size%64) + 1
+		c := MustNew(data, parity)
+		lr := rng.New(seed)
+		shards := make([][]byte, c.Total())
+		for i := range shards {
+			shards[i] = make([]byte, shardLen)
+		}
+		fillRandom(lr, shards, data)
+		orig := make([][]byte, len(shards))
+		if err := c.Encode(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			orig[i] = append([]byte(nil), shards[i]...)
+		}
+		// Erase up to parity shards, chosen uniformly.
+		nLose := lr.Intn(parity + 1)
+		perm := lr.Perm(c.Total())
+		for _, idx := range perm[:nLose] {
+			shards[idx] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: quickRandSource(r)}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	c := MustNew(8, 2)
+	r := rng.New(6)
+	for _, size := range []int{1, 7, 8, 63, 64, 65, 1000, 4096} {
+		msg := make([]byte, size)
+		for i := range msg {
+			msg[i] = byte(r.Uint64())
+		}
+		shards := c.Split(msg)
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		// Lose two shards and reconstruct.
+		shards[0], shards[9] = nil, nil
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Join(shards, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("size %d: join mismatch", size)
+		}
+	}
+}
+
+func TestSplitEmptyMessage(t *testing.T) {
+	c := MustNew(4, 1)
+	shards := c.Split(nil)
+	if len(shards) != c.Total() {
+		t.Fatalf("Split(nil) returned %d shards", len(shards))
+	}
+	for _, s := range shards {
+		if len(s) == 0 {
+			t.Fatal("Split(nil) produced empty shard")
+		}
+	}
+}
+
+// TestGeneratorIsMDS verifies the defining MDS property for the paper's
+// scheme and a few others: every Data-subset of generator rows is
+// invertible.
+func TestGeneratorIsMDS(t *testing.T) {
+	for _, cfg := range []struct{ d, p int }{{8, 2}, {4, 2}, {10, 4}, {2, 2}, {16, 4}} {
+		c := MustNew(cfg.d, cfg.p)
+		n := c.Total()
+		idx := make([]int, c.Data)
+		var rec func(start, k int)
+		rec = func(start, k int) {
+			if k == c.Data {
+				sub := newMatrix(c.Data, c.Data)
+				for r, i := range idx {
+					copy(sub.row(r), c.encode.row(i))
+				}
+				if _, err := sub.invert(); err != nil {
+					t.Fatalf("(%d,%d): rows %v are singular — not MDS", cfg.d, cfg.p, idx)
+				}
+				return
+			}
+			for i := start; i < n; i++ {
+				idx[k] = i
+				rec(i+1, k+1)
+			}
+		}
+		rec(0, 0)
+	}
+}
+
+func TestWarmupThenConcurrentEncode(t *testing.T) {
+	c := MustNew(8, 2)
+	c.Warmup()
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			r := rng.New(uint64(g))
+			shards := make([][]byte, c.Total())
+			for i := range shards {
+				shards[i] = make([]byte, 256)
+			}
+			for iter := 0; iter < 50; iter++ {
+				fillRandom(r, shards, c.Data)
+				if err := c.Encode(shards); err != nil {
+					done <- err
+					return
+				}
+				if ok, err := c.Verify(shards); err != nil || !ok {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode82_4KiB(b *testing.B) {
+	c := MustNew(8, 2)
+	c.Warmup()
+	r := rng.New(1)
+	shards := make([][]byte, c.Total())
+	for i := range shards {
+		shards[i] = make([]byte, 4096)
+	}
+	fillRandom(r, shards, c.Data)
+	b.SetBytes(8 * 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct82TwoLosses(b *testing.B) {
+	c := MustNew(8, 2)
+	c.Warmup()
+	r := rng.New(1)
+	orig := make([][]byte, c.Total())
+	for i := range orig {
+		orig[i] = make([]byte, 4096)
+	}
+	fillRandom(r, orig, c.Data)
+	if err := c.Encode(orig); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(8 * 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, len(orig))
+		copy(shards, orig)
+		shards[1], shards[9] = nil, nil
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package eventq implements the deterministic discrete-event engine that
+// drives the whole simulator. It plays the role of the core loop of the
+// htsim simulator used by the Uno paper: components schedule callbacks at
+// absolute simulated times and the engine executes them in (time, insertion)
+// order.
+//
+// Simulated time is measured in integer picoseconds so that packet
+// serialization times on the link speeds used by the paper are exact
+// (a 4096 B MTU at 100 Gb/s serializes in exactly 327,680 ps).
+package eventq
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute simulated time in picoseconds.
+type Time int64
+
+// Duration constants. They mirror time.Duration's naming but are simulation
+// picoseconds, not wall-clock time.
+const (
+	Picosecond  Time = 1
+	Nanosecond       = 1000 * Picosecond
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// String formats t with an adaptive unit: exact multiples print as
+// integers ("14µs", "2ms"), everything else with three decimals at the
+// largest fitting unit ("39.680ms").
+func (t Time) String() string {
+	if t < 0 {
+		return "-" + (-t).String()
+	}
+	switch {
+	case t == 0:
+		return "0s"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", t/Second)
+	case t%Millisecond == 0 && t < 10*Second:
+		return fmt.Sprintf("%dms", t/Millisecond)
+	case t%Microsecond == 0 && t < 10*Millisecond:
+		return fmt.Sprintf("%dµs", t/Microsecond)
+	case t%Nanosecond == 0 && t < Microsecond:
+		return fmt.Sprintf("%dns", t/Nanosecond)
+	}
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Seconds()*1e3)
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Seconds()*1e6)
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", t.Seconds()*1e9)
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Seconds returns t expressed in (floating point) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled callback. A non-nil Event returned by Schedule can be
+// cancelled; cancelled events stay in the heap but are skipped when popped.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // position in the heap, -1 once popped
+}
+
+// At returns the time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event's callback from running. Cancelling an event
+// that already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is the event loop. The zero value is ready to use at time 0.
+// It is not safe for concurrent use; a simulation is a single-goroutine
+// state machine (parallelism in this project comes from running independent
+// simulations concurrently, e.g. the 100 reruns of Fig 13A).
+type Scheduler struct {
+	now      Time
+	heap     eventHeap
+	seq      uint64
+	executed uint64
+	stopped  bool
+}
+
+// New returns a scheduler positioned at time 0.
+func New() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Executed returns the number of events run so far (cancelled events are
+// not counted). Useful for progress reporting and benchmarks.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events currently queued, including
+// cancelled-but-unpopped ones.
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics:
+// it always indicates a simulator bug, and silently reordering time would
+// corrupt every protocol's RTT estimates.
+func (s *Scheduler) Schedule(at Time, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("eventq: schedule at %v before now %v", at, s.now))
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, e)
+	return e
+}
+
+// After runs fn after delay d (relative scheduling helper).
+func (s *Scheduler) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventq: negative delay %v", d))
+	}
+	return s.Schedule(s.now+d, fn)
+}
+
+// Stop makes the currently executing Run return after the current event's
+// callback completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is strictly after the deadline. On return, Now() is
+// min(deadline, time of last executed event); the clock is advanced to the
+// deadline so subsequent scheduling is relative to it.
+func (s *Scheduler) RunUntil(deadline Time) {
+	s.stopped = false
+	for len(s.heap) > 0 && !s.stopped {
+		next := s.heap[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&s.heap)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		s.executed++
+		next.fn()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for len(s.heap) > 0 && !s.stopped {
+		next := heap.Pop(&s.heap).(*Event)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		s.executed++
+		next.fn()
+	}
+}
+
+// Step executes exactly one non-cancelled event and reports whether one was
+// available.
+func (s *Scheduler) Step() bool {
+	for len(s.heap) > 0 {
+		next := heap.Pop(&s.heap).(*Event)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		s.executed++
+		next.fn()
+		return true
+	}
+	return false
+}

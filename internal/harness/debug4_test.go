@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"uno/internal/core"
+	"uno/internal/eventq"
+	"uno/internal/rng"
+	"uno/internal/stats"
+	"uno/internal/topo"
+	"uno/internal/transport"
+	"uno/internal/workload"
+)
+
+// TestDebugFig4Queue traces the incast bottleneck with phantom queues on
+// (development aid).
+func TestDebugFig4Queue(t *testing.T) {
+	if os.Getenv("UNO_DEBUG") == "" {
+		t.Skip("debug trace; set UNO_DEBUG=1 to run")
+	}
+	var ccs []*core.UnoCC
+	stack := StackUno()
+	inner := stack.Policies
+	stack.Policies = func(s *Sim, spec workload.FlowSpec, interDC bool) (transport.Params, transport.CongestionControl, transport.PathSelector) {
+		p, cc, lb := inner(s, spec, interDC)
+		if u, ok := cc.(*core.UnoCC); ok && interDC {
+			ccs = append(ccs, u)
+		}
+		return p, cc, lb
+	}
+	sim := MustNewSim(42, topo.DefaultConfig(), stack)
+	perDC := sim.Topo.Cfg.HostsPerDC()
+	recv := perDC
+	hpp := perDC / sim.Topo.Cfg.K
+	var specs []workload.FlowSpec
+	for i := 0; i < 8; i++ {
+		specs = append(specs, workload.FlowSpec{Src: i * hpp, Dst: recv, Size: 1 << 30, InterDC: true})
+	}
+	conns := sim.Schedule(specs)
+
+	coord := sim.Topo.Coord(sim.Topo.Hosts[recv].ID())
+	edge := sim.Topo.DCs[coord.DC].Edges[coord.Pod][coord.Edge]
+	port := edge.Port(coord.Idx)
+	var q stats.Sample
+	// RPC victims, as in Fig4.
+	wr := rng.New(43)
+	rpcs, err := workload.Poisson(workload.PoissonConfig{
+		CDF:      workload.GoogleRPC,
+		Load:     0.05,
+		LinkBps:  sim.Topo.Cfg.LinkBps,
+		Sources:  workload.HostRange{Lo: perDC + 1, Hi: perDC + 33},
+		Dests:    workload.HostRange{Lo: recv, Hi: recv + 1},
+		Duration: 22 * eventq.Millisecond,
+		MaxFlows: 400,
+	}, wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rpcs {
+		rpcs[i].Start += 22 * eventq.Millisecond
+	}
+	sim.Schedule(rpcs)
+
+	sim.Net.Sched.RunUntil(22 * eventq.Millisecond)
+	lastMarks, lastDrops := port.Stats().ECNMarks, port.Stats().TailDrops
+	for step := 0; step < 110; step++ {
+		sim.Net.Sched.RunUntil(22*eventq.Millisecond + eventq.Time(step+1)*200*eventq.Microsecond)
+		ph := port.Config().Phantom
+		occ := 0.0
+		if ph != nil {
+			occ = ph.Occupancy(sim.Net.Now())
+		}
+		sumW, sumIF := 0.0, int64(0)
+		mds, gentles, qas, tos := 0, 0, 0, uint64(0)
+		for i, c := range conns {
+			if c == nil || i >= len(ccs) {
+				continue
+			}
+			sumW += c.Cwnd()
+			sumIF += c.InFlight()
+			mds += ccs[i].MDs
+			gentles += ccs[i].GentleMDs
+			qas += ccs[i].QAFires
+			tos += c.Stats().Timeouts
+		}
+		st := port.Stats()
+		fmt.Printf("t=%.1fms phys=%4dKB phantom=%4.0fKB Δmarks=%4d Δdrops=%3d Σcwnd=%5.0fKB Σinfl=%5dKB MD=%d g=%d QA=%d to=%d\n",
+			sim.Net.Now().Seconds()*1e3, port.QueuedBytes()/1024, occ/1024,
+			st.ECNMarks-lastMarks, st.TailDrops-lastDrops, sumW/1024, sumIF/1024,
+			mds, gentles, qas, tos)
+		lastMarks, lastDrops = st.ECNMarks, st.TailDrops
+	}
+	_ = q
+	for _, res := range sim.Results() {
+		if res.Spec.Size <= 131072 && res.FCT > eventq.Millisecond {
+			fmt.Printf("SLOW RPC: size=%d start=%v fct=%v\n", res.Spec.Size, res.Spec.Start, res.FCT)
+		}
+	}
+}

@@ -1,0 +1,454 @@
+// Package harness assembles full experiments: it builds the dual-DC
+// topology, instantiates a protocol stack per flow, injects workloads, and
+// collects the statistics each figure/table of the paper reports. One
+// Experiment per figure lives in fig*.go; RunAll and the registry back the
+// unosim CLI and the repository's benchmarks.
+package harness
+
+import (
+	"fmt"
+
+	"uno/internal/eventq"
+	"uno/internal/netsim"
+	"uno/internal/stats"
+	"uno/internal/topo"
+	"uno/internal/transport"
+	"uno/internal/workload"
+)
+
+// FlowResult records one completed (or abandoned) flow.
+type FlowResult struct {
+	Spec      workload.FlowSpec
+	FCT       eventq.Time
+	Ideal     eventq.Time // unloaded completion time for slowdown metrics
+	Completed bool
+}
+
+// Slowdown returns FCT relative to the unloaded ideal.
+func (r FlowResult) Slowdown() float64 {
+	if r.Ideal <= 0 {
+		return 0
+	}
+	return float64(r.FCT) / float64(r.Ideal)
+}
+
+// Sim wires a topology, per-host transport endpoints, and a protocol stack
+// into a runnable experiment instance.
+type Sim struct {
+	Net  *netsim.Network
+	Topo *topo.DualDC
+	Eps  []*transport.Endpoint
+	MTU  int
+
+	stack   Stack
+	nextID  netsim.FlowID
+	results []FlowResult
+	pending int
+	conns   []*transport.Conn
+}
+
+// NewSim builds the simulation. The stack decides whether phantom queues
+// are enabled on the fabric.
+func NewSim(seed uint64, topoCfg topo.Config, stack Stack) (*Sim, error) {
+	topoCfg.PhantomEnabled = stack.Phantom
+	if stack.QCN {
+		topoCfg.QCN = true
+	}
+	if stack.ClassWeights != nil {
+		topoCfg.ClassWeights = stack.ClassWeights
+	}
+	net := netsim.New(seed)
+	tp, err := topo.Build(net, topoCfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{Net: net, Topo: tp, MTU: 4096, stack: stack}
+	for _, h := range tp.Hosts {
+		s.Eps = append(s.Eps, transport.NewEndpoint(h))
+	}
+	return s, nil
+}
+
+// MustNewSim is NewSim for known-good configurations.
+func MustNewSim(seed uint64, topoCfg topo.Config, stack Stack) *Sim {
+	s, err := NewSim(seed, topoCfg, stack)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// BaseRTT returns the unloaded RTT between two host indices for a
+// full-size data packet (MTU plus transport header) and its ACK.
+func (s *Sim) BaseRTT(src, dst int) eventq.Time {
+	return s.Topo.BaseRTT(s.Topo.Hosts[src].ID(), s.Topo.Hosts[dst].ID(),
+		s.MTU+transport.HeaderSize, netsim.AckSize)
+}
+
+// IdealFCT returns the unloaded completion time of a flow: the base RTT
+// for the first packet and final ACK, plus serialization of the remaining
+// bytes at line rate.
+func (s *Sim) IdealFCT(spec workload.FlowSpec) eventq.Time {
+	base := s.BaseRTT(spec.Src, spec.Dst)
+	nPkts := (spec.Size + int64(s.MTU) - 1) / int64(s.MTU)
+	wire := spec.Size + nPkts*transport.HeaderSize
+	rest := wire - int64(s.MTU+transport.HeaderSize)
+	if rest < 0 {
+		rest = 0
+	}
+	return base + eventq.Time(float64(rest)*8/float64(s.Topo.Cfg.LinkBps)*float64(eventq.Second))
+}
+
+// Schedule arranges for the given flows to start at their Start times.
+// It returns the connections in spec order (populated as flows start).
+func (s *Sim) Schedule(specs []workload.FlowSpec) []*transport.Conn {
+	conns := make([]*transport.Conn, len(specs))
+	for i, spec := range specs {
+		i, spec := i, spec
+		s.pending++
+		s.Net.Sched.Schedule(spec.Start, func() {
+			conns[i] = s.startFlow(spec)
+		})
+	}
+	s.conns = append(s.conns, conns...)
+	return conns
+}
+
+// StartFlow implements collective.Starter: it launches a transfer right
+// now and invokes onDone at completion (in addition to the normal result
+// collection).
+func (s *Sim) StartFlow(src, dst int, size int64, onDone func()) {
+	spec := workload.FlowSpec{Src: src, Dst: dst, Size: size, Start: s.Net.Now()}
+	s.pending++
+	s.conns = append(s.conns, s.startFlowHook(spec, onDone))
+}
+
+// startFlow launches one flow immediately.
+func (s *Sim) startFlow(spec workload.FlowSpec) *transport.Conn {
+	return s.startFlowHook(spec, nil)
+}
+
+// startFlowHook launches one flow immediately with an optional extra
+// completion hook.
+func (s *Sim) startFlowHook(spec workload.FlowSpec, hook func()) *transport.Conn {
+	s.nextID++
+	srcHost, dstHost := s.Topo.Hosts[spec.Src], s.Topo.Hosts[spec.Dst]
+	interDC := !s.Topo.SameDC(srcHost.ID(), dstHost.ID())
+	// The topology is the single source of truth for the flow's class;
+	// generator labels are advisory.
+	spec.InterDC = interDC
+	flow := &transport.Flow{
+		ID:      s.nextID,
+		Src:     srcHost,
+		Dst:     dstHost,
+		Size:    spec.Size,
+		Start:   s.Net.Now(),
+		InterDC: interDC,
+	}
+	params, cc, lb := s.stack.Policies(s, spec, interDC)
+	params.MTU = s.MTU
+	if params.BaseRTT <= 0 {
+		params.BaseRTT = s.BaseRTT(spec.Src, spec.Dst)
+	}
+	ideal := s.IdealFCT(spec)
+	conn := transport.MustStart(s.Eps[spec.Src], s.Eps[spec.Dst], flow, params, cc, lb,
+		func(c *transport.Conn) {
+			s.pending--
+			s.results = append(s.results, FlowResult{
+				Spec: spec, FCT: c.FCT(), Ideal: ideal, Completed: true,
+			})
+			if hook != nil {
+				hook()
+			}
+		})
+	return conn
+}
+
+// Run executes until all scheduled flows complete or the horizon passes.
+func (s *Sim) Run(horizon eventq.Time) {
+	step := horizon / 64
+	if step <= 0 {
+		step = horizon
+	}
+	for at := step; at <= horizon; at += step {
+		s.Net.Sched.RunUntil(at)
+		if s.pending == 0 {
+			return
+		}
+	}
+}
+
+// Pending returns the number of scheduled-but-unfinished flows.
+func (s *Sim) Pending() int { return s.pending }
+
+// Conns returns every connection created so far, in scheduling order
+// (entries are nil for flows that have not started yet).
+func (s *Sim) Conns() []*transport.Conn { return s.conns }
+
+// Results returns the completed flows.
+func (s *Sim) Results() []FlowResult { return s.results }
+
+// FCTStats summarizes completed flows, split intra/inter. slowdown selects
+// FCT-slowdown (vs ideal) instead of absolute FCT in microseconds.
+func (s *Sim) FCTStats(slowdown bool) (intra, inter stats.Summary) {
+	var si, se stats.Sample
+	for _, r := range s.results {
+		v := r.FCT.Seconds() * 1e6
+		if slowdown {
+			v = r.Slowdown()
+		}
+		if r.Spec.InterDC {
+			se.Add(v)
+		} else {
+			si.Add(v)
+		}
+	}
+	return si.Summarize(), se.Summarize()
+}
+
+// AllFCTStats summarizes all completed flows together.
+func (s *Sim) AllFCTStats(slowdown bool) stats.Summary {
+	var sm stats.Sample
+	for _, r := range s.results {
+		if slowdown {
+			sm.Add(r.Slowdown())
+		} else {
+			sm.Add(r.FCT.Seconds() * 1e6)
+		}
+	}
+	return sm.Summarize()
+}
+
+// RateSampler samples per-connection goodput into time series and records
+// when each flow completed, so fairness metrics cover only bins where a
+// flow was still active (a finished flow's zero rate is not unfairness).
+type RateSampler struct {
+	Series []*stats.TimeSeries
+	conns  []*transport.Conn
+	last   []int64
+	doneAt []int  // bin index of completion, -1 while active
+	inter  []bool // optional class labels (SetClasses)
+}
+
+// SetClasses labels each sampled flow as inter-DC or not. When set, the
+// fairness metrics only count bins in which *both* classes still have an
+// active flow: without this, a scheme that starves one class until it
+// finishes early would be scored on the surviving homogeneous flows and
+// look spuriously fair.
+func (rs *RateSampler) SetClasses(inter []bool) { rs.inter = inter }
+
+// bothClassesActive reports whether bin b has at least one active flow of
+// each class (always true when classes are not set or only one class
+// exists).
+func (rs *RateSampler) bothClassesActive(b int) bool {
+	if rs.inter == nil {
+		return true
+	}
+	var intraAny, interAny, intraActive, interActive bool
+	for i := range rs.Series {
+		active := rs.doneAt[i] < 0 || rs.doneAt[i] > b
+		if rs.inter[i] {
+			interAny = true
+			interActive = interActive || active
+		} else {
+			intraAny = true
+			intraActive = intraActive || active
+		}
+	}
+	if intraAny && !intraActive {
+		return false
+	}
+	if interAny && !interActive {
+		return false
+	}
+	return true
+}
+
+// SampleRates polls the given connections every interval over [0, stop].
+// Connections may be nil until their flow starts.
+func (s *Sim) SampleRates(conns []*transport.Conn, interval, stop eventq.Time) *RateSampler {
+	rs := &RateSampler{
+		conns:  conns,
+		last:   make([]int64, len(conns)),
+		doneAt: make([]int, len(conns)),
+	}
+	for i := range rs.doneAt {
+		rs.doneAt[i] = -1
+	}
+	bins := int(stop/interval) + 1
+	for range conns {
+		rs.Series = append(rs.Series, stats.NewTimeSeries(0, interval, bins))
+	}
+	var tick func()
+	tick = func() {
+		now := s.Net.Now()
+		bin := int((now - 1) / interval)
+		for i := range rs.conns {
+			c := conns[i]
+			rs.conns[i] = c
+			if c == nil {
+				continue
+			}
+			acked := c.Stats().BytesAcked
+			rs.Series[i].AddTo(now-1, float64(acked-rs.last[i]))
+			rs.last[i] = acked
+			if c.Completed() && rs.doneAt[i] < 0 {
+				rs.doneAt[i] = bin
+			}
+		}
+		if now < stop {
+			s.Net.Sched.After(interval, tick)
+		}
+	}
+	s.Net.Sched.Schedule(interval, tick)
+	return rs
+}
+
+// RatesAt returns each connection's goodput (bytes/s) in bin b.
+func (rs *RateSampler) RatesAt(b int) []float64 {
+	out := make([]float64, len(rs.Series))
+	for i, ts := range rs.Series {
+		out[i] = ts.Sum(b) / ts.BinWidth().Seconds()
+	}
+	return out
+}
+
+// activeRatesAt returns the goodputs of flows that had started and not yet
+// completed during bin b.
+func (rs *RateSampler) activeRatesAt(b int) []float64 {
+	var out []float64
+	for i, ts := range rs.Series {
+		if rs.doneAt[i] >= 0 && rs.doneAt[i] <= b {
+			continue
+		}
+		out = append(out, ts.Sum(b)/ts.BinWidth().Seconds())
+	}
+	return out
+}
+
+// TimeToFairness returns the first bin time at which Jain's index over the
+// still-active flows stays above thresh for sustain consecutive bins, or
+// -1 if that never happens while at least two flows compete.
+func (rs *RateSampler) TimeToFairness(thresh float64, sustain int) eventq.Time {
+	if len(rs.Series) == 0 {
+		return -1
+	}
+	bins := rs.Series[0].Bins()
+	streak := 0
+	for b := 0; b < bins; b++ {
+		active := rs.activeRatesAt(b)
+		if len(active) < 2 || !rs.bothClassesActive(b) {
+			break
+		}
+		if stats.JainIndex(active) >= thresh {
+			streak++
+			if streak >= sustain {
+				return rs.Series[0].BinTime(b - sustain + 1)
+			}
+		} else {
+			streak = 0
+		}
+	}
+	return -1
+}
+
+// MeanJain returns the average Jain index over bins [from, to), counting
+// only bins where at least two flows were active and (when classes are
+// set) both classes were still competing.
+func (rs *RateSampler) MeanJain(from, to int) float64 {
+	if len(rs.Series) == 0 {
+		return 0
+	}
+	total, n := 0.0, 0
+	for b := from; b < to && b < rs.Series[0].Bins(); b++ {
+		if !rs.bothClassesActive(b) {
+			continue
+		}
+		if active := rs.activeRatesAt(b); len(active) >= 2 {
+			total += stats.JainIndex(active)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// ClassRateRatio returns the per-flow inter-DC : intra-DC mean-rate ratio
+// over the middle half of the contested period (1.0 = the classes share
+// per-flow fairly; the paper's Fig 3 B shows Gemini far from 1 for the
+// flows' whole lifetime).
+func (rs *RateSampler) ClassRateRatio() float64 {
+	if rs.inter == nil || len(rs.Series) == 0 {
+		return 0
+	}
+	last := rs.lastContestedBin()
+	if last < 0 {
+		return 0
+	}
+	lo, hi := last/2, last*3/4+1
+	var intraSum, interSum float64
+	var intraN, interN int
+	for i, ts := range rs.Series {
+		sum := 0.0
+		for b := lo; b < hi; b++ {
+			sum += ts.Sum(b)
+		}
+		if rs.inter[i] {
+			interSum += sum
+			interN++
+		} else {
+			intraSum += sum
+			intraN++
+		}
+	}
+	if intraN == 0 || interN == 0 || intraSum == 0 {
+		return 0
+	}
+	return (interSum / float64(interN)) / (intraSum / float64(intraN))
+}
+
+// lastContestedBin returns the final bin of the contested period, or -1.
+func (rs *RateSampler) lastContestedBin() int {
+	last := -1
+	for b := 0; b < rs.Series[0].Bins(); b++ {
+		if len(rs.activeRatesAt(b)) >= 2 && rs.bothClassesActive(b) {
+			last = b
+		} else if last >= 0 {
+			break
+		}
+	}
+	return last
+}
+
+// ContestedJain returns the mean Jain index over the middle half of the
+// contested period — the longest prefix of bins during which at least two
+// flows (and, when classes are set, both traffic classes) were active.
+// The start transient and the completion edge (where a fair scheme's
+// synchronized finishes make per-bin rates noisy) are both excluded; a
+// fixed wall-clock window would instead score schemes on whatever
+// homogeneous flows survive longest.
+func (rs *RateSampler) ContestedJain() float64 {
+	if len(rs.Series) == 0 {
+		return 0
+	}
+	last := rs.lastContestedBin()
+	if last < 0 {
+		return 0
+	}
+	lo, hi := last/2, last*3/4+1
+	return rs.MeanJain(lo, hi)
+}
+
+// fmtDur renders a duration for report tables.
+func fmtDur(t eventq.Time) string {
+	switch {
+	case t < 0:
+		return "-"
+	case t >= eventq.Millisecond:
+		return fmt.Sprintf("%.2fms", t.Seconds()*1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", t.Seconds()*1e6)
+	}
+}

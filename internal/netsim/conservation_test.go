@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"testing"
+
+	"uno/internal/eventq"
+	"uno/internal/rng"
+)
+
+// TestPacketConservation: across random port configurations and arrival
+// patterns, every enqueued packet is either delivered over the link,
+// tail-dropped, trimmed-and-delivered, dropped by the dead link, or
+// dropped by the loss process — no packet vanishes or duplicates.
+func TestPacketConservation(t *testing.T) {
+	r := rng.New(77)
+	for iter := 0; iter < 40; iter++ {
+		cfg := PortConfig{
+			QueueCap:      int64(r.Intn(1<<18) + 4096),
+			ControlBypass: r.Float64() < 0.5,
+			Trim:          r.Float64() < 0.3,
+		}
+		if r.Float64() < 0.5 {
+			cfg.MarkMin = cfg.QueueCap / 4
+			cfg.MarkMax = cfg.QueueCap * 3 / 4
+		}
+		net := New(uint64(iter))
+		sw := NewSwitch(net, "sw", directRouter{})
+		a := NewHost(net, "a", 0)
+		b := NewHost(net, "b", 0)
+		a.AttachNIC(sw, 100e9, eventq.Microsecond)
+		sw.AddPort(b, 10e9, eventq.Microsecond, cfg)
+
+		var loss *UniformLossForTest
+		if r.Float64() < 0.4 {
+			loss = &UniformLossForTest{P: r.Float64() * 0.3, Rand: rng.New(uint64(iter) + 1)}
+			sw.Port(0).Link().SetLoss(loss)
+		}
+		delivered := uint64(0)
+		b.SetHandler(func(p *Packet) { delivered++ })
+
+		n := r.Intn(300) + 50
+		offered := uint64(0)
+		for i := 0; i < n; i++ {
+			typ := Data
+			size := 4096
+			if r.Float64() < 0.2 {
+				typ, size = Ack, AckSize
+			}
+			sw.Port(0).Enqueue(&Packet{
+				Type: typ, Src: a.ID(), Dst: b.ID(), Size: size, Seq: int64(i),
+			})
+			offered++
+		}
+		// Fail the link mid-run sometimes.
+		if r.Float64() < 0.3 {
+			net.Sched.Schedule(net.Now()+50*eventq.Microsecond, func() {
+				sw.Port(0).Link().SetUp(false)
+			})
+		}
+		net.Sched.Run()
+
+		st := sw.Port(0).Stats()
+		ls := sw.Port(0).Link().Stats()
+		accounted := delivered + st.TailDrops + ls.DownDrops + ls.RandomDrops
+		if accounted != offered {
+			t.Fatalf("iter %d: offered %d, accounted %d (delivered %d, taildrop %d, down %d, random %d, trims %d)",
+				iter, offered, accounted, delivered, st.TailDrops, ls.DownDrops, ls.RandomDrops, st.Trims)
+		}
+	}
+}
+
+// UniformLossForTest is a minimal loss process local to this test.
+type UniformLossForTest struct {
+	P    float64
+	Rand *rng.Rand
+}
+
+// Drop implements LossProcess.
+func (u *UniformLossForTest) Drop(_ eventq.Time, _ *Packet) bool {
+	return u.Rand.Float64() < u.P
+}

@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"testing"
+
+	"uno/internal/eventq"
+)
+
+// drrPair builds a host→switch→host pair whose bottleneck port uses DRR
+// class queues with the given weights.
+func drrPair(t *testing.T, weights []int, bw int64) (*Network, *Host, *Switch, *Host) {
+	t.Helper()
+	cfg := PortConfig{QueueCap: 4 << 20, ControlBypass: true, ClassWeights: weights}
+	return buildPair(t, cfg, bw, eventq.Microsecond)
+}
+
+func TestDRRSharesByWeight(t *testing.T) {
+	// Saturate a 10 Gb/s port with two backlogged classes at weights 3:1:
+	// deliveries must split ~3:1.
+	net, a, sw, b := drrPair(t, []int{3, 1}, 10e9)
+	var got [2]int
+	b.SetHandler(func(p *Packet) { got[p.Class]++ })
+	for i := 0; i < 200; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Class: 0})
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Class: 1})
+	}
+	// Run only long enough to serve half the backlog, then check the mix.
+	net.Sched.RunUntil(eventq.Time(200) * SerializationTime(4096, 10e9))
+	total := got[0] + got[1]
+	if total < 150 {
+		t.Fatalf("too few deliveries to judge: %d", total)
+	}
+	frac := float64(got[0]) / float64(total)
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("class-0 share %v, want ≈0.75 (got %v)", frac, got)
+	}
+}
+
+func TestDRREqualWeightsEqualShare(t *testing.T) {
+	net, a, sw, b := drrPair(t, []int{1, 1}, 10e9)
+	var got [2]int
+	b.SetHandler(func(p *Packet) { got[p.Class]++ })
+	for i := 0; i < 100; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Class: 0})
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Class: 1})
+	}
+	net.Sched.RunUntil(eventq.Time(100) * SerializationTime(4096, 10e9))
+	diff := got[0] - got[1]
+	if diff < -6 || diff > 6 {
+		t.Fatalf("equal weights split %v", got)
+	}
+}
+
+func TestDRRIdleClassYieldsBandwidth(t *testing.T) {
+	// Only class 1 has traffic: it must get the whole link (work
+	// conservation), and an idle class banks no credit.
+	net, a, sw, b := drrPair(t, []int{3, 1}, 10e9)
+	delivered := 0
+	b.SetHandler(func(p *Packet) { delivered++ })
+	for i := 0; i < 50; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Class: 1})
+	}
+	net.Sched.Run()
+	if delivered != 50 {
+		t.Fatalf("delivered %d/50 with one active class", delivered)
+	}
+}
+
+func TestDRRClassBeyondRangeClamped(t *testing.T) {
+	net, a, sw, b := drrPair(t, []int{1, 1}, 100e9)
+	var lastClass uint8
+	b.SetHandler(func(p *Packet) { lastClass = p.Class })
+	sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 100, Class: 7})
+	net.Sched.Run()
+	if lastClass != 7 {
+		t.Fatal("packet lost or class rewritten")
+	}
+	if sw.Port(0).ClassQueuedBytes(1) != 0 || sw.Port(0).QueuedPackets() != 0 {
+		t.Fatal("queue accounting wrong after clamped class")
+	}
+}
+
+func TestDRRPerClassOccupancyAccounting(t *testing.T) {
+	_, a, sw, b := drrPair(t, []int{1, 1}, 10e9)
+	for i := 0; i < 4; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Class: 0})
+	}
+	sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Class: 1})
+	// One packet is in the transmitter; the rest are queued.
+	total := sw.Port(0).ClassQueuedBytes(0) + sw.Port(0).ClassQueuedBytes(1)
+	if total != sw.Port(0).QueuedBytes() {
+		t.Fatalf("class sums %d != aggregate %d", total, sw.Port(0).QueuedBytes())
+	}
+	if sw.Port(0).QueuedPackets() != 4 {
+		t.Fatalf("queued packets = %d", sw.Port(0).QueuedPackets())
+	}
+}
+
+func TestDRRInvalidWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero weight did not panic")
+		}
+	}()
+	net := New(50)
+	sw := NewSwitch(net, "sw", directRouter{})
+	h := NewHost(net, "h", 0)
+	sw.AddPort(h, 1e9, eventq.Nanosecond, PortConfig{QueueCap: 1 << 20, ClassWeights: []int{1, 0}})
+}

@@ -1,0 +1,79 @@
+package netsim
+
+import "uno/internal/eventq"
+
+// PacketHandler receives packets terminating at a host. The transport layer
+// registers one per host and demultiplexes by flow.
+type PacketHandler func(p *Packet)
+
+// Host is an end node with a single NIC toward its edge switch. The NIC
+// serializes outgoing packets at line rate through an effectively unbounded
+// buffer (senders are window/pacing limited by their transports, so the host
+// queue models only serialization, not loss).
+type Host struct {
+	net     *Network
+	id      NodeID
+	name    string
+	nic     *Port
+	handler PacketHandler
+
+	// DC is the datacenter index, used by routers and workload generators.
+	DC int
+	// Received counts packets terminated at this host.
+	Received uint64
+}
+
+// hostQueueCap is the NIC buffer: large enough that well-behaved transports
+// never overflow it.
+const hostQueueCap = 1 << 30
+
+// NewHost registers a host on the network.
+func NewHost(net *Network, name string, dc int) *Host {
+	h := &Host{net: net, name: name, DC: dc}
+	h.id = net.register(h)
+	return h
+}
+
+// ID implements Node.
+func (h *Host) ID() NodeID { return h.id }
+
+// Name implements Node.
+func (h *Host) Name() string { return h.name }
+
+// Network returns the owning network.
+func (h *Host) Network() *Network { return h.net }
+
+// AttachNIC wires the host's uplink toward its edge switch.
+func (h *Host) AttachNIC(to Node, bandwidth int64, delay eventq.Time) *Link {
+	link := newLink(h.net, to, bandwidth, delay, h.name+"→"+to.Name())
+	h.nic = newPort(h.net, h, link, PortConfig{QueueCap: hostQueueCap, ControlBypass: true})
+	return link
+}
+
+// NIC returns the host's uplink port (nil before AttachNIC).
+func (h *Host) NIC() *Port { return h.nic }
+
+// SetHandler registers the transport demultiplexer.
+func (h *Host) SetHandler(fn PacketHandler) { h.handler = fn }
+
+// Send injects a packet into the network through the NIC. The packet is
+// assigned a unique ID and its hop count starts at zero.
+func (h *Host) Send(p *Packet) {
+	if h.nic == nil {
+		panic("netsim: host " + h.name + " has no NIC")
+	}
+	p.ID = h.net.NextPacketID()
+	p.hops = 0
+	if h.net.Observer != nil {
+		h.net.Observer.PacketSent(h, p)
+	}
+	h.nic.Enqueue(p)
+}
+
+// HandlePacket implements Node: deliver to the transport layer.
+func (h *Host) HandlePacket(p *Packet) {
+	h.Received++
+	if h.handler != nil {
+		h.handler(p)
+	}
+}

@@ -1,0 +1,88 @@
+package netsim
+
+import "uno/internal/eventq"
+
+// LossProcess models stochastic packet loss on a link (random drops,
+// Gilbert-Elliott bursts, ...). Implementations live in package failure.
+type LossProcess interface {
+	// Drop reports whether the packet entering the link at time now is
+	// lost in transit.
+	Drop(now eventq.Time, p *Packet) bool
+}
+
+// LinkStats are cumulative per-link counters.
+type LinkStats struct {
+	Delivered   uint64
+	DownDrops   uint64 // dropped because the link was failed
+	RandomDrops uint64 // dropped by the loss process
+	Bytes       uint64
+}
+
+// Link is a unidirectional link: fixed bandwidth (used by the upstream port
+// for serialization) and propagation delay. Build a duplex connection from
+// two links.
+type Link struct {
+	net *Network
+	// Bandwidth in bits per second.
+	Bandwidth int64
+	// Delay is the one-way propagation delay.
+	Delay eventq.Time
+	// Name for diagnostics, e.g. "dc0.core3→dc0.border0".
+	Name string
+
+	to   Node
+	up   bool
+	loss LossProcess
+
+	stats LinkStats
+}
+
+// newLink wires a link toward node to.
+func newLink(net *Network, to Node, bandwidth int64, delay eventq.Time, name string) *Link {
+	if bandwidth <= 0 || delay < 0 {
+		panic("netsim: invalid link parameters")
+	}
+	return &Link{net: net, Bandwidth: bandwidth, Delay: delay, Name: name, to: to, up: true}
+}
+
+// To returns the downstream node.
+func (l *Link) To() Node { return l.to }
+
+// Up reports whether the link is operational.
+func (l *Link) Up() bool { return l.up }
+
+// SetUp fails (false) or restores (true) the link. Packets already
+// propagating are unaffected; packets entering a failed link are lost.
+func (l *Link) SetUp(up bool) { l.up = up }
+
+// SetLoss attaches (or clears, with nil) a stochastic loss process.
+func (l *Link) SetLoss(p LossProcess) { l.loss = p }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// deliver is called by the upstream port when serialization finishes.
+func (l *Link) deliver(p *Packet) {
+	if !l.up {
+		l.stats.DownDrops++
+		if l.net.Observer != nil {
+			l.net.Observer.PacketDropped(l.Name, DropLink, p)
+		}
+		return
+	}
+	if l.loss != nil && l.loss.Drop(l.net.Now(), p) {
+		l.stats.RandomDrops++
+		if l.net.Observer != nil {
+			l.net.Observer.PacketDropped(l.Name, DropLoss, p)
+		}
+		return
+	}
+	l.stats.Delivered++
+	l.stats.Bytes += uint64(p.Size)
+	l.net.Sched.After(l.Delay, func() {
+		if l.net.Observer != nil {
+			l.net.Observer.PacketDelivered(l, p)
+		}
+		l.to.HandlePacket(p)
+	})
+}

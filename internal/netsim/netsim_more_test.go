@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"testing"
+
+	"uno/internal/eventq"
+)
+
+func TestLinkAccessors(t *testing.T) {
+	net, _, sw, b := buildPair(t, defaultPort(), 100e9, eventq.Microsecond)
+	link := sw.Port(0).Link()
+	if link.To() != b {
+		t.Fatal("To() wrong")
+	}
+	if !link.Up() {
+		t.Fatal("new link not up")
+	}
+	if link.Name == "" {
+		t.Fatal("link has no name")
+	}
+	if link.Bandwidth != 100e9 || link.Delay != eventq.Microsecond {
+		t.Fatalf("link params %v/%v", link.Bandwidth, link.Delay)
+	}
+	_ = net
+}
+
+func TestLinkStatsCount(t *testing.T) {
+	net, a, sw, b := buildPair(t, defaultPort(), 100e9, eventq.Microsecond)
+	b.SetHandler(func(p *Packet) {})
+	for i := 0; i < 10; i++ {
+		a.Send(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 1000})
+	}
+	net.Sched.Run()
+	st := sw.Port(0).Link().Stats()
+	if st.Delivered != 10 || st.Bytes != 10000 {
+		t.Fatalf("link stats %+v", st)
+	}
+}
+
+func TestHostReceivedCounter(t *testing.T) {
+	net, a, _, b := buildPair(t, defaultPort(), 100e9, eventq.Microsecond)
+	for i := 0; i < 5; i++ {
+		a.Send(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 100})
+	}
+	net.Sched.Run()
+	if b.Received != 5 {
+		t.Fatalf("Received = %d", b.Received)
+	}
+}
+
+func TestNetworkCounters(t *testing.T) {
+	net := New(40)
+	if net.NumNodes() != 0 {
+		t.Fatal("fresh network has nodes")
+	}
+	h := NewHost(net, "h", 1)
+	s := NewSwitch(net, "s", directRouter{})
+	if net.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", net.NumNodes())
+	}
+	if net.Node(h.ID()) != Node(h) || net.Node(s.ID()) != Node(s) {
+		t.Fatal("Node lookup wrong")
+	}
+	if h.DC != 1 || h.Network() != net {
+		t.Fatal("host metadata wrong")
+	}
+	a := net.NextPacketID()
+	b := net.NextPacketID()
+	if b != a+1 {
+		t.Fatal("packet ids not sequential")
+	}
+}
+
+func TestPortMarkStatsCount(t *testing.T) {
+	// Saturating thresholds: every enqueued capable packet beyond the
+	// first must be marked, and the counter must agree.
+	cfg := PortConfig{QueueCap: 1 << 20, MarkMin: 0, MarkMax: 1, ControlBypass: true}
+	net, a, sw, b := buildPair(t, cfg, 100e9, eventq.Microsecond)
+	received, marked := 0, 0
+	b.SetHandler(func(p *Packet) {
+		received++
+		if p.ECNMarked {
+			marked++
+		}
+	})
+	for i := 0; i < 10; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, ECNCapable: true})
+	}
+	net.Sched.Run()
+	st := sw.Port(0).Stats()
+	if st.EnqueuedPackets != 10 {
+		t.Fatalf("enqueued = %d", st.EnqueuedPackets)
+	}
+	if int(st.ECNMarks) != marked {
+		t.Fatalf("mark counter %d vs delivered marks %d", st.ECNMarks, marked)
+	}
+	if marked < 8 {
+		t.Fatalf("marked = %d of 10 above MarkMax", marked)
+	}
+}
+
+func TestSwitchMetadata(t *testing.T) {
+	net := New(41)
+	s := NewSwitch(net, "sw0", directRouter{})
+	s.Tier, s.DC, s.Meta = 2, 1, [2]int{3, 4}
+	if s.Name() != "sw0" || s.Tier != 2 || s.DC != 1 || s.Meta != [2]int{3, 4} {
+		t.Fatal("switch metadata lost")
+	}
+	if s.NumPorts() != 0 {
+		t.Fatal("fresh switch has ports")
+	}
+	h := NewHost(net, "h", 0)
+	idx, link := s.AddPort(h, 1e9, eventq.Nanosecond, defaultPort())
+	if idx != 0 || s.NumPorts() != 1 || s.Port(0).Link() != link {
+		t.Fatal("AddPort bookkeeping wrong")
+	}
+}
+
+func TestPhantomOccupancyMonotoneDrain(t *testing.T) {
+	q := NewPhantomQueue(80e9, 1<<20, 1<<18, 3<<18)
+	r := New(42).Rand
+	q.OnEnqueue(0, 500000, r)
+	prev := q.Occupancy(0)
+	for at := eventq.Time(0); at < 100*eventq.Microsecond; at += 5 * eventq.Microsecond {
+		occ := q.Occupancy(at)
+		if occ > prev {
+			t.Fatalf("phantom occupancy grew while idle: %v → %v", prev, occ)
+		}
+		prev = occ
+	}
+}
+
+func TestSerializationScalesInverselyWithRate(t *testing.T) {
+	slow := SerializationTime(4096, 10e9)
+	fast := SerializationTime(4096, 100e9)
+	if slow != 10*fast {
+		t.Fatalf("serialization not inverse in rate: %v vs %v", slow, fast)
+	}
+}

@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"fmt"
+
+	"uno/internal/eventq"
+	"uno/internal/rng"
+)
+
+// Network owns the scheduler, the nodes, and the shared deterministic
+// randomness of one simulation. All methods must be called from the
+// simulation goroutine.
+type Network struct {
+	Sched *eventq.Scheduler
+	Rand  *rng.Rand
+
+	nodes  []Node
+	nextID uint64 // packet ID counter
+
+	// LoopPanic controls what happens when a packet exceeds maxHops:
+	// true (default in tests) panics, false silently drops and counts.
+	LoopPanic bool
+	LoopDrops uint64
+
+	// Observer, when non-nil, receives every fabric-level packet event
+	// (sends, deliveries, drops) for tracing and telemetry.
+	Observer Observer
+}
+
+// New creates an empty network with the given random seed.
+func New(seed uint64) *Network {
+	return &Network{
+		Sched:     eventq.New(),
+		Rand:      rng.New(seed),
+		LoopPanic: true,
+	}
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() eventq.Time { return n.Sched.Now() }
+
+// register adds a node and returns its id.
+func (n *Network) register(node Node) NodeID {
+	id := NodeID(len(n.nodes))
+	n.nodes = append(n.nodes, node)
+	return id
+}
+
+// Node returns the node with the given id.
+func (n *Network) Node(id NodeID) Node { return n.nodes[id] }
+
+// NumNodes returns the number of registered nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NextPacketID hands out globally unique packet ids.
+func (n *Network) NextPacketID() uint64 {
+	n.nextID++
+	return n.nextID
+}
+
+// countHop increments p's hop count and reports whether the packet may keep
+// forwarding. Beyond maxHops it either panics (LoopPanic) or counts a drop.
+func (n *Network) countHop(p *Packet) bool {
+	p.hops++
+	if p.hops <= maxHops {
+		return true
+	}
+	if n.LoopPanic {
+		panic(fmt.Sprintf("netsim: packet %d (%v flow %d %d→%d) exceeded %d hops: routing loop",
+			p.ID, p.Type, p.Flow, p.Src, p.Dst, maxHops))
+	}
+	n.LoopDrops++
+	if n.Observer != nil {
+		n.Observer.PacketDropped("fabric", DropLoop, p)
+	}
+	return false
+}
+
+// SerializationTime returns how long size bytes occupy a link of rate bps.
+func SerializationTime(size int, bps int64) eventq.Time {
+	if bps <= 0 {
+		panic("netsim: non-positive link bandwidth")
+	}
+	// bits * ps-per-second / bps. size ≤ ~64 KiB so the product fits int64.
+	return eventq.Time(int64(size) * 8 * int64(eventq.Second) / bps)
+}

@@ -1,0 +1,77 @@
+package netsim
+
+import (
+	"uno/internal/eventq"
+	"uno/internal/rng"
+)
+
+// PhantomQueue is the HULL-style virtual queue used by UnoCC (§4.1.3): a
+// counter that grows by the size of every packet enqueued at the physical
+// port and drains at a constant rate set slightly below the line rate
+// (the paper uses 0.9×). Because it drains slower than the physical queue,
+// it signals congestion before the physical queue builds, yielding the
+// near-zero physical queuing of Fig 4.
+type PhantomQueue struct {
+	DrainBps int64 // drain rate in bits per second
+	Cap      int64 // occupancy ceiling in bytes (bounds signal history)
+	MarkMin  int64 // RED-style min marking threshold in bytes
+	MarkMax  int64 // RED-style max marking threshold in bytes
+
+	bytes      float64
+	lastUpdate eventq.Time
+}
+
+// NewPhantomQueue builds a phantom queue draining at drainBps. Marking is
+// linear-probability between markMin and markMax bytes of virtual
+// occupancy, mirroring the physical RED configuration (§5.1).
+func NewPhantomQueue(drainBps int64, capBytes, markMin, markMax int64) *PhantomQueue {
+	if drainBps <= 0 || capBytes <= 0 || markMin < 0 || markMax < markMin {
+		panic("netsim: invalid phantom queue configuration")
+	}
+	return &PhantomQueue{DrainBps: drainBps, Cap: capBytes, MarkMin: markMin, MarkMax: markMax}
+}
+
+// drainTo advances the virtual drain process to time now.
+func (q *PhantomQueue) drainTo(now eventq.Time) {
+	if now <= q.lastUpdate {
+		return
+	}
+	dt := now - q.lastUpdate
+	q.lastUpdate = now
+	q.bytes -= dt.Seconds() * float64(q.DrainBps) / 8
+	if q.bytes < 0 {
+		q.bytes = 0
+	}
+}
+
+// OnEnqueue accounts a packet of the given size at time now and reports
+// whether the packet should be ECN-marked according to the phantom
+// occupancy. The caller is responsible for checking ECN capability.
+func (q *PhantomQueue) OnEnqueue(now eventq.Time, size int, r *rng.Rand) bool {
+	q.drainTo(now)
+	q.bytes += float64(size)
+	if q.bytes > float64(q.Cap) {
+		q.bytes = float64(q.Cap)
+	}
+	return redDecision(q.bytes, float64(q.MarkMin), float64(q.MarkMax), r)
+}
+
+// Occupancy returns the current virtual occupancy in bytes.
+func (q *PhantomQueue) Occupancy(now eventq.Time) float64 {
+	q.drainTo(now)
+	return q.bytes
+}
+
+// redDecision implements Random Early Detection marking (§5.1 "Parameter
+// settings"): never mark below min, always mark above max, and mark with
+// linearly increasing probability in between.
+func redDecision(occ, min, max float64, r *rng.Rand) bool {
+	switch {
+	case occ <= min:
+		return false
+	case occ >= max:
+		return true
+	default:
+		return r.Float64() < (occ-min)/(max-min)
+	}
+}

@@ -1,0 +1,99 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"uno/internal/eventq"
+	"uno/internal/rng"
+)
+
+func TestPhantomDrainMath(t *testing.T) {
+	// Drain at 90 Gb/s: 90e9/8 bytes per second.
+	q := NewPhantomQueue(90e9, 10<<20, 1<<20, 8<<20)
+	r := rng.New(1)
+	q.OnEnqueue(0, 100000, r)
+	if occ := q.Occupancy(0); occ != 100000 {
+		t.Fatalf("occupancy right after enqueue = %v", occ)
+	}
+	// After 1 µs, drained bytes = 90e9 * 1e-6 / 8 = 11250.
+	occ := q.Occupancy(1 * eventq.Microsecond)
+	if math.Abs(occ-(100000-11250)) > 1 {
+		t.Fatalf("occupancy after 1µs = %v, want %v", occ, 100000-11250)
+	}
+	// Eventually drains to zero, never negative.
+	if occ := q.Occupancy(1 * eventq.Second); occ != 0 {
+		t.Fatalf("occupancy after 1s = %v, want 0", occ)
+	}
+}
+
+func TestPhantomCapBound(t *testing.T) {
+	q := NewPhantomQueue(90e9, 1000, 100, 900)
+	r := rng.New(2)
+	for i := 0; i < 100; i++ {
+		q.OnEnqueue(0, 4096, r)
+	}
+	if occ := q.Occupancy(0); occ > 1000 {
+		t.Fatalf("occupancy %v exceeds cap", occ)
+	}
+}
+
+func TestPhantomMarkingThresholds(t *testing.T) {
+	r := rng.New(3)
+	q := NewPhantomQueue(90e9, 1<<20, 100000, 200000)
+	// Below min: never mark.
+	if q.OnEnqueue(0, 1000, r) {
+		t.Fatal("marked below MarkMin")
+	}
+	// Pump above max at t=0 (no drain yet): must mark.
+	marked := false
+	for i := 0; i < 60; i++ {
+		marked = q.OnEnqueue(0, 4096, r)
+	}
+	if !marked {
+		t.Fatal("not marked above MarkMax")
+	}
+}
+
+func TestPhantomSlowerDrainBuildsBacklogAtLineRate(t *testing.T) {
+	// Offer exactly line rate (100 Gb/s): a 0.9× drain must accumulate
+	// ~10 Gb/s of virtual backlog.
+	q := NewPhantomQueue(90e9, 100<<20, 1<<20, 50<<20)
+	r := rng.New(4)
+	ser := SerializationTime(4096, 100e9)
+	var now eventq.Time
+	const n = 10000
+	for i := 0; i < n; i++ {
+		q.OnEnqueue(now, 4096, r)
+		now += ser
+	}
+	// Expected backlog after n packets: n*4096 - drain*(elapsed).
+	elapsed := now - ser // last enqueue time
+	expected := float64(n*4096) - elapsed.Seconds()*90e9/8
+	got := q.Occupancy(elapsed)
+	if math.Abs(got-expected)/expected > 0.01 {
+		t.Fatalf("backlog = %v, want ~%v", got, expected)
+	}
+	// Sanity: the backlog is ~10% of bytes offered.
+	if got < 0.09*float64(n*4096) || got > 0.11*float64(n*4096) {
+		t.Fatalf("backlog fraction = %v of offered", got/float64(n*4096))
+	}
+}
+
+func TestPhantomInvalidConfigPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewPhantomQueue(0, 1, 0, 1) },
+		func() { NewPhantomQueue(1, 0, 0, 1) },
+		func() { NewPhantomQueue(1, 1, 5, 4) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,335 @@
+package netsim
+
+// PortConfig parameterizes one output port's queue.
+type PortConfig struct {
+	// QueueCap is the physical queue capacity in bytes (paper default:
+	// 1 MiB per port; Fig 12 varies it per tier).
+	QueueCap int64
+	// RED marking thresholds on the physical queue in bytes. The paper
+	// sets them to 25% and 75% of QueueCap. If MarkMax == 0, physical ECN
+	// marking is disabled (used when a phantom queue provides the signal).
+	MarkMin, MarkMax int64
+	// Phantom optionally attaches a phantom queue; the final ECN decision
+	// is the OR of the physical RED decision and the phantom decision.
+	Phantom *PhantomQueue
+	// ControlBypass lets 64 B control packets (ACK/NACK) enqueue even when
+	// the data queue is full, a standard simulator simplification that
+	// keeps the reverse path lossless unless a link fails.
+	ControlBypass bool
+	// QCN enables QCN-style congestion notification (the Annulus add-on
+	// the paper's footnote 4 defers to future work): when the queue
+	// exceeds QCNThresh bytes, every QCNSample-th admitted data packet
+	// triggers a Cnm packet sent directly back to the packet's source
+	// with the queue's relative overload as feedback. Useful only for
+	// congestion near the source — precisely Annulus's premise.
+	QCN       bool
+	QCNThresh int64
+	QCNSample uint64
+
+	// Trim enables NDP-style packet trimming: a data packet that would be
+	// tail-dropped is instead cut to its header (AckSize bytes) and
+	// forwarded with Trimmed set, so the receiver learns about the loss a
+	// one-way delay later instead of after a timeout. The paper's §6
+	// discusses why this helps intra-DC transports but cannot fix
+	// latency-bound inter-DC messages (the notification still pays the
+	// WAN RTT) — the trimming extension exists here to demonstrate that.
+	Trim bool
+
+	// ClassWeights switches the port from a single FIFO to per-class
+	// queues served by deficit round robin with the given weights —
+	// the "multiple priority queues + weighted round-robin" alternative
+	// the paper's footnote 1 dismisses for flow-level fairness. Packets
+	// select their queue via Packet.Class (clamped to the last class).
+	// Each class gets its own RED marking on its own occupancy, with
+	// thresholds scaled by its weight share; the capacity check stays on
+	// the aggregate. nil keeps the single FIFO.
+	ClassWeights []int
+}
+
+// PortStats are cumulative counters exposed for the harness.
+type PortStats struct {
+	EnqueuedPackets uint64
+	EnqueuedBytes   uint64
+	TailDrops       uint64
+	ECNMarks        uint64
+	Trims           uint64
+	CnmsSent        uint64
+}
+
+// Port is an output port: a byte-bounded FIFO plus a transmitter that
+// serializes packets onto the attached link at line rate (store-and-
+// forward: a packet leaves the queue when its serialization begins).
+type Port struct {
+	net   *Network
+	owner Node
+	cfg   PortConfig
+	link  *Link
+
+	queue       []*Packet
+	head        int
+	queuedBytes int64
+	busy        bool
+	qcnCount    uint64
+
+	// Per-class DRR state (ClassWeights mode).
+	classQ     [][]*Packet
+	classHead  []int
+	classBytes []int64
+	deficit    []int64
+	rrNext     int
+
+	stats PortStats
+}
+
+// drrQuantum is each DRR round's deficit grant per unit weight. It must be
+// at least one maximum-size packet for the scheduler to guarantee
+// progress; keeping it at exactly that bound minimizes per-round burst
+// size (and thus short-term unfairness).
+const drrQuantum = 9216
+
+func newPort(net *Network, owner Node, link *Link, cfg PortConfig) *Port {
+	if cfg.QueueCap <= 0 {
+		panic("netsim: port needs positive queue capacity")
+	}
+	for _, w := range cfg.ClassWeights {
+		if w <= 0 {
+			panic("netsim: DRR class weights must be positive")
+		}
+	}
+	p := &Port{net: net, owner: owner, cfg: cfg, link: link}
+	if n := len(cfg.ClassWeights); n > 0 {
+		p.classQ = make([][]*Packet, n)
+		p.classHead = make([]int, n)
+		p.classBytes = make([]int64, n)
+		p.deficit = make([]int64, n)
+	}
+	return p
+}
+
+// classOf clamps a packet's class to the configured queues.
+func (p *Port) classOf(pkt *Packet) int {
+	c := int(pkt.Class)
+	if c >= len(p.classQ) {
+		c = len(p.classQ) - 1
+	}
+	return c
+}
+
+// ClassQueuedBytes returns class c's occupancy (0 for single-FIFO ports).
+func (p *Port) ClassQueuedBytes(c int) int64 {
+	if c < 0 || c >= len(p.classBytes) {
+		return 0
+	}
+	return p.classBytes[c]
+}
+
+// Link returns the attached outgoing link.
+func (p *Port) Link() *Link { return p.link }
+
+// QueuedBytes returns the current physical queue occupancy in bytes
+// (excluding the packet being serialized).
+func (p *Port) QueuedBytes() int64 { return p.queuedBytes }
+
+// QueuedPackets returns the number of queued packets.
+func (p *Port) QueuedPackets() int {
+	if len(p.classQ) > 0 {
+		n := 0
+		for c := range p.classQ {
+			n += len(p.classQ[c]) - p.classHead[c]
+		}
+		return n
+	}
+	return len(p.queue) - p.head
+}
+
+// Stats returns a snapshot of the port counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// Config returns the port's configuration.
+func (p *Port) Config() PortConfig { return p.cfg }
+
+// Enqueue applies ECN marking, admits or drops the packet, and kicks the
+// transmitter.
+func (p *Port) Enqueue(pkt *Packet) {
+	now := p.net.Now()
+
+	// Phantom queues see every arrival, including ones later tail-dropped:
+	// the virtual queue models offered load, not accepted load.
+	phantomMark := false
+	if p.cfg.Phantom != nil {
+		phantomMark = p.cfg.Phantom.OnEnqueue(now, pkt.Size, p.net.Rand)
+	}
+
+	isControl := pkt.Type != Data || pkt.Trimmed
+	if p.queuedBytes+int64(pkt.Size) > p.cfg.QueueCap && !(isControl && p.cfg.ControlBypass) {
+		if p.cfg.Trim && pkt.Type == Data {
+			// Trim to the header and forward as a control-sized packet.
+			pkt.Trimmed = true
+			pkt.Size = AckSize
+			p.stats.Trims++
+		} else {
+			p.stats.TailDrops++
+			if p.net.Observer != nil {
+				p.net.Observer.PacketDropped(p.owner.Name()+" port", DropTail, pkt)
+			}
+			return
+		}
+	}
+
+	if pkt.ECNCapable && !pkt.ECNMarked {
+		marked := phantomMark
+		if !marked && p.cfg.MarkMax > 0 {
+			occ, min, max := float64(p.queuedBytes), float64(p.cfg.MarkMin), float64(p.cfg.MarkMax)
+			if len(p.classQ) > 0 {
+				// Per-class RED: a class's occupancy against thresholds
+				// scaled by its weight share.
+				c := p.classOf(pkt)
+				share := p.weightShare(c)
+				occ, min, max = float64(p.classBytes[c]), min*share, max*share
+			}
+			marked = redDecision(occ, min, max, p.net.Rand)
+		}
+		if marked {
+			pkt.ECNMarked = true
+			p.stats.ECNMarks++
+		}
+	}
+
+	if len(p.classQ) > 0 {
+		c := p.classOf(pkt)
+		p.classQ[c] = append(p.classQ[c], pkt)
+		p.classBytes[c] += int64(pkt.Size)
+	} else {
+		p.queue = append(p.queue, pkt)
+	}
+	p.queuedBytes += int64(pkt.Size)
+	p.stats.EnqueuedPackets++
+	p.stats.EnqueuedBytes += uint64(pkt.Size)
+
+	if p.cfg.QCN && pkt.Type == Data && p.queuedBytes > p.cfg.QCNThresh {
+		p.qcnCount++
+		sample := p.cfg.QCNSample
+		if sample == 0 {
+			sample = 32
+		}
+		if p.qcnCount%sample == 0 {
+			p.sendCnm(pkt)
+		}
+	}
+	p.kick()
+}
+
+// sendCnm emits a congestion-notification message straight back to the
+// sampled packet's source, carrying the queue's relative overload.
+func (p *Port) sendCnm(pkt *Packet) {
+	over := float64(p.queuedBytes-p.cfg.QCNThresh) / float64(p.cfg.QueueCap-p.cfg.QCNThresh)
+	if over > 1 {
+		over = 1
+	}
+	cnm := &Packet{
+		ID:       p.net.NextPacketID(),
+		Type:     Cnm,
+		Flow:     pkt.Flow,
+		Src:      p.owner.ID(),
+		Dst:      pkt.Src,
+		Size:     AckSize,
+		Entropy:  p.net.Rand.Uint32(),
+		Feedback: over,
+	}
+	p.stats.CnmsSent++
+	// The notification is injected at this switch and routed back to the
+	// source like any other packet.
+	p.owner.HandlePacket(cnm)
+}
+
+// weightShare returns class c's fraction of the total weight.
+func (p *Port) weightShare(c int) float64 {
+	total := 0
+	for _, w := range p.cfg.ClassWeights {
+		total += w
+	}
+	return float64(p.cfg.ClassWeights[c]) / float64(total)
+}
+
+// popNext removes and returns the next packet to transmit, or nil.
+func (p *Port) popNext() *Packet {
+	if len(p.classQ) > 0 {
+		return p.popDRR()
+	}
+	if p.head == len(p.queue) {
+		return nil
+	}
+	pkt := p.queue[p.head]
+	p.queue[p.head] = nil
+	p.head++
+	// Compact the FIFO once the dead prefix dominates.
+	if p.head > 64 && p.head*2 >= len(p.queue) {
+		n := copy(p.queue, p.queue[p.head:])
+		p.queue = p.queue[:n]
+		p.head = 0
+	}
+	return pkt
+}
+
+// popDRR serves the class queues by deficit round robin.
+func (p *Port) popDRR() *Packet {
+	n := len(p.classQ)
+	nonempty := false
+	for c := 0; c < n; c++ {
+		if p.classHead[c] < len(p.classQ[c]) {
+			nonempty = true
+			break
+		}
+	}
+	if !nonempty {
+		return nil
+	}
+	// At most two full rounds are needed: one to replenish deficits, one
+	// to serve (quantum ≥ max packet size × weight).
+	for round := 0; round < 2*n+1; round++ {
+		c := p.rrNext
+		if p.classHead[c] < len(p.classQ[c]) {
+			head := p.classQ[c][p.classHead[c]]
+			if p.deficit[c] >= int64(head.Size) {
+				p.deficit[c] -= int64(head.Size)
+				p.classQ[c][p.classHead[c]] = nil
+				p.classHead[c]++
+				if p.classHead[c] > 64 && p.classHead[c]*2 >= len(p.classQ[c]) {
+					m := copy(p.classQ[c], p.classQ[c][p.classHead[c]:])
+					p.classQ[c] = p.classQ[c][:m]
+					p.classHead[c] = 0
+				}
+				p.classBytes[c] -= int64(head.Size)
+				// Stay on this class while its deficit lasts (standard
+				// DRR serves a class's burst before moving on).
+				return head
+			}
+			// Replenish and move on.
+			p.deficit[c] += int64(p.cfg.ClassWeights[c]) * drrQuantum
+		} else {
+			// An idle class must not bank credit.
+			p.deficit[c] = 0
+		}
+		p.rrNext = (p.rrNext + 1) % n
+	}
+	return nil
+}
+
+// kick starts the transmitter if it is idle and work is queued.
+func (p *Port) kick() {
+	if p.busy {
+		return
+	}
+	pkt := p.popNext()
+	if pkt == nil {
+		return
+	}
+	p.queuedBytes -= int64(pkt.Size)
+	p.busy = true
+	tx := SerializationTime(pkt.Size, p.link.Bandwidth)
+	p.net.Sched.After(tx, func() {
+		p.busy = false
+		p.link.deliver(pkt)
+		p.kick()
+	})
+}

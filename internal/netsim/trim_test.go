@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"testing"
+
+	"uno/internal/eventq"
+)
+
+func TestTrimConvertsOverflowToHeaders(t *testing.T) {
+	cfg := PortConfig{QueueCap: 4100, ControlBypass: true, Trim: true}
+	net, a, sw, b := buildPair(t, cfg, 100e9, eventq.Microsecond)
+	var full, trimmed int
+	b.SetHandler(func(p *Packet) {
+		if p.Trimmed {
+			trimmed++
+			if p.Size != AckSize {
+				t.Fatalf("trimmed packet size %d", p.Size)
+			}
+		} else {
+			full++
+		}
+	})
+	// One in the transmitter, one queued, the rest must be trimmed —
+	// not dropped.
+	for i := 0; i < 5; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Seq: int64(i)})
+	}
+	net.Sched.Run()
+	if full != 2 || trimmed != 3 {
+		t.Fatalf("full=%d trimmed=%d, want 2/3", full, trimmed)
+	}
+	st := sw.Port(0).Stats()
+	if st.TailDrops != 0 || st.Trims != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTrimDisabledStillDrops(t *testing.T) {
+	cfg := PortConfig{QueueCap: 4100, ControlBypass: true}
+	net, a, sw, b := buildPair(t, cfg, 100e9, eventq.Microsecond)
+	got := 0
+	b.SetHandler(func(p *Packet) { got++ })
+	for i := 0; i < 5; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096})
+	}
+	net.Sched.Run()
+	if got != 2 || sw.Port(0).Stats().TailDrops != 3 {
+		t.Fatalf("delivered=%d drops=%d", got, sw.Port(0).Stats().TailDrops)
+	}
+}
+
+func TestTrimmedPacketsBypassFullQueues(t *testing.T) {
+	// A packet trimmed upstream must traverse later full queues like
+	// control traffic rather than being dropped again.
+	cfg := PortConfig{QueueCap: 4100, ControlBypass: true, Trim: true}
+	net, a, sw, b := buildPair(t, cfg, 100e9, eventq.Microsecond)
+	delivered := 0
+	b.SetHandler(func(p *Packet) {
+		if p.Trimmed {
+			delivered++
+		}
+	})
+	// Fill the queue, then offer an already-trimmed packet.
+	for i := 0; i < 2; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096})
+	}
+	sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: AckSize, Trimmed: true})
+	net.Sched.Run()
+	if delivered != 1 {
+		t.Fatalf("trimmed packet not delivered through full queue")
+	}
+}

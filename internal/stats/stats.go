@@ -1,0 +1,224 @@
+// Package stats collects and summarizes simulation measurements: flow
+// completion times, per-flow throughput time series, queue occupancy
+// traces, and fairness indices — the evaluation metrics of the Uno paper
+// (§5.1 "Evaluation metrics").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is an ordered collection of scalar observations with summary
+// helpers. The zero value is an empty sample.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddAll appends all observations.
+func (s *Sample) AddAll(vs []float64) {
+	s.values = append(s.values, vs...)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Values returns the observations in sorted order. The returned slice is
+// owned by the Sample; callers must not modify it.
+func (s *Sample) Values() []float64 {
+	s.ensureSorted()
+	return s.values
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[len(s.values)-1]
+}
+
+// Stddev returns the population standard deviation.
+func (s *Sample) Stddev() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	acc := 0.0
+	for _, v := range s.values {
+		d := v - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It returns 0 for an empty sample and
+// panics for p outside [0, 100].
+func (s *Sample) Percentile(p float64) float64 {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if n == 1 {
+		return s.values[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// P99 is shorthand for the paper's tail metric.
+func (s *Sample) P99() float64 { return s.Percentile(99) }
+
+// Median is shorthand for Percentile(50).
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Summary bundles the usual report row.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	P99    float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of the sample.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		Median: s.Median(),
+		P99:    s.P99(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+	}
+}
+
+// Histogram buckets a sample into equal-width bins over [min, max] — the
+// textual stand-in for the paper's violin plots (Fig 13 A).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// HistogramOf builds a bins-wide histogram of the sample. It returns an
+// empty histogram for an empty sample and panics for bins <= 0.
+func (s *Sample) HistogramOf(bins int) Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: histogram needs positive bins, got %d", bins))
+	}
+	h := Histogram{Counts: make([]int, bins)}
+	if s.N() == 0 {
+		return h
+	}
+	h.Lo, h.Hi = s.Min(), s.Max()
+	width := (h.Hi - h.Lo) / float64(bins)
+	for _, v := range s.Values() {
+		b := bins - 1
+		if width > 0 {
+			b = int((v - h.Lo) / width)
+			if b >= bins {
+				b = bins - 1
+			}
+		}
+		h.Counts[b]++
+		h.Total++
+	}
+	return h
+}
+
+// Sparkline renders the histogram as a compact bar string ("▁▂▅█..."),
+// useful in report tables.
+func (h Histogram) Sparkline() string {
+	if h.Total == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	out := make([]rune, len(h.Counts))
+	for i, c := range h.Counts {
+		idx := 0
+		if c > 0 {
+			idx = 1 + c*(len(levels)-2)/max
+			if idx >= len(levels) {
+				idx = len(levels) - 1
+			}
+		}
+		out[i] = levels[idx]
+	}
+	return string(out)
+}
+
+// JainIndex returns Jain's fairness index of the given allocations:
+// (Σx)² / (n·Σx²). It is 1.0 for perfectly equal shares and 1/n when a
+// single flow hogs everything. Returns 0 for an empty or all-zero input.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

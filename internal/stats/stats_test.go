@@ -1,0 +1,293 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"uno/internal/eventq"
+	"uno/internal/rng"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.P99() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{4, 1, 3, 2})
+	if s.Mean() != 2.5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(s.Stddev(), 2, 1e-12) {
+		t.Fatalf("stddev = %v, want 2", s.Stddev())
+	}
+}
+
+func TestPercentileKnownValues(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.Median(); !almostEqual(got, 50.5, 1e-9) {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.P99(); !almostEqual(got, 99.01, 1e-9) {
+		t.Fatalf("p99 = %v", got)
+	}
+}
+
+func TestPercentileSingleValue(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := s.Percentile(p); got != 7 {
+			t.Fatalf("p%v of single-value sample = %v", p, got)
+		}
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(101) did not panic")
+		}
+	}()
+	var s Sample
+	s.Add(1)
+	s.Percentile(101)
+}
+
+func TestAddAfterSortedQuery(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{3, 1})
+	_ = s.Median() // forces a sort
+	s.Add(2)
+	if got := s.Median(); got != 2 {
+		t.Fatalf("median after re-add = %v, want 2", got)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	r := rng.New(9)
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return s.Percentile(0) == s.Min() && s.Percentile(100) == s.Max()
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileMatchesNearestRank(t *testing.T) {
+	// Against a brute-force definition, interpolated percentile must lie
+	// between the surrounding order statistics.
+	r := rng.New(4)
+	for iter := 0; iter < 20; iter++ {
+		var s Sample
+		vals := make([]float64, 50+r.Intn(100))
+		for i := range vals {
+			vals[i] = r.Float64() * 1000
+		}
+		s.AddAll(vals)
+		sort.Float64s(vals)
+		for _, p := range []float64{10, 25, 50, 75, 90, 99} {
+			v := s.Percentile(p)
+			lo := vals[int(p/100*float64(len(vals)-1))]
+			hiIdx := int(math.Ceil(p / 100 * float64(len(vals)-1)))
+			hi := vals[hiIdx]
+			if v < lo-1e-9 || v > hi+1e-9 {
+				t.Fatalf("p%v = %v outside [%v, %v]", p, v, lo, hi)
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{1, 2, 3})
+	sum := s.Summarize()
+	if sum.N != 3 || sum.Mean != 2 || sum.Median != 2 || sum.Min != 1 || sum.Max != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex(nil); got != 0 {
+		t.Fatalf("Jain(nil) = %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Fatalf("Jain(zeros) = %v", got)
+	}
+	if got := JainIndex([]float64{5, 5, 5, 5}); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Jain(equal) = %v", got)
+	}
+	// One flow hogging: index = 1/n.
+	if got := JainIndex([]float64{10, 0, 0, 0}); !almostEqual(got, 0.25, 1e-12) {
+		t.Fatalf("Jain(hog) = %v", got)
+	}
+	// Jain index is scale-invariant.
+	a := JainIndex([]float64{1, 2, 3})
+	b := JainIndex([]float64{10, 20, 30})
+	if !almostEqual(a, b, 1e-12) {
+		t.Fatalf("Jain not scale-invariant: %v vs %v", a, b)
+	}
+}
+
+func TestJainBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Fold huge magnitudes into a finite range so Σx² cannot
+			// overflow; the index is scale-invariant anyway.
+			xs = append(xs, math.Mod(math.Abs(v), 1e6))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		j := JainIndex(xs)
+		return j >= 0 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var s Sample
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	h := s.HistogramOf(10)
+	if h.Total != 100 || h.Lo != 0 || h.Hi != 99 {
+		t.Fatalf("histogram meta %+v", h)
+	}
+	for b, c := range h.Counts {
+		// 100 uniform values over 10 bins: ~10 each (boundary effects ±1).
+		if c < 9 || c > 12 {
+			t.Fatalf("bin %d count %d", b, c)
+		}
+	}
+	spark := h.Sparkline()
+	if len([]rune(spark)) != 10 {
+		t.Fatalf("sparkline %q", spark)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	var s Sample
+	h := s.HistogramOf(5)
+	if h.Total != 0 || h.Sparkline() != "" {
+		t.Fatalf("empty histogram %+v", h)
+	}
+	s.Add(7)
+	s.Add(7)
+	h = s.HistogramOf(4)
+	// All mass in the last bin (zero width collapses there).
+	if h.Counts[3] != 2 || h.Total != 2 {
+		t.Fatalf("constant-sample histogram %+v", h)
+	}
+}
+
+func TestHistogramPanicsOnBadBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0 bins")
+		}
+	}()
+	var s Sample
+	s.HistogramOf(0)
+}
+
+func TestTimeSeriesBinning(t *testing.T) {
+	ts := NewTimeSeries(0, eventq.Microsecond, 10)
+	ts.Observe(0, 1)
+	ts.Observe(eventq.Microsecond-1, 3)
+	ts.Observe(eventq.Microsecond, 5)
+	ts.Observe(100*eventq.Microsecond, 7) // past the end → last bin
+	if ts.Mean(0) != 2 {
+		t.Fatalf("bin0 mean = %v", ts.Mean(0))
+	}
+	if ts.Mean(1) != 5 {
+		t.Fatalf("bin1 mean = %v", ts.Mean(1))
+	}
+	if ts.Mean(9) != 7 {
+		t.Fatalf("last bin mean = %v", ts.Mean(9))
+	}
+	if ts.Max(0) != 3 {
+		t.Fatalf("bin0 max = %v", ts.Max(0))
+	}
+	if ts.Bins() != 10 || ts.BinWidth() != eventq.Microsecond {
+		t.Fatal("bin geometry wrong")
+	}
+	if ts.BinTime(3) != 3*eventq.Microsecond {
+		t.Fatalf("BinTime(3) = %v", ts.BinTime(3))
+	}
+}
+
+func TestTimeSeriesRate(t *testing.T) {
+	ts := NewTimeSeries(0, eventq.Millisecond, 4)
+	// 125 kB in a 1 ms bin = 1 Gb/s.
+	ts.AddTo(eventq.Microsecond, 125000)
+	if got := ts.RateBps(0); !almostEqual(got, 1e9, 1) {
+		t.Fatalf("rate = %v, want 1e9", got)
+	}
+}
+
+func TestTimeSeriesClampsEarly(t *testing.T) {
+	ts := NewTimeSeries(eventq.Millisecond, eventq.Millisecond, 2)
+	ts.Observe(0, 42) // before start → first bin
+	if ts.Mean(0) != 42 {
+		t.Fatalf("early observation lost: %v", ts.Mean(0))
+	}
+}
+
+func TestTimeSeriesInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid geometry did not panic")
+		}
+	}()
+	NewTimeSeries(0, 0, 10)
+}

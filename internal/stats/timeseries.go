@@ -1,0 +1,86 @@
+package stats
+
+import "uno/internal/eventq"
+
+// TimeSeries accumulates (time, value) observations into fixed-width bins
+// so the harness can plot rates and queue occupancies over time without
+// storing every event. Observations before the series start or at/after the
+// series end are clamped into the first/last bin.
+type TimeSeries struct {
+	start, width eventq.Time
+	sum          []float64
+	count        []int
+	max          []float64
+}
+
+// NewTimeSeries covers [start, start+bins*width) with the given bin width.
+func NewTimeSeries(start, width eventq.Time, bins int) *TimeSeries {
+	if width <= 0 || bins <= 0 {
+		panic("stats: time series needs positive width and bin count")
+	}
+	return &TimeSeries{
+		start: start,
+		width: width,
+		sum:   make([]float64, bins),
+		count: make([]int, bins),
+		max:   make([]float64, bins),
+	}
+}
+
+func (ts *TimeSeries) binFor(t eventq.Time) int {
+	if t < ts.start {
+		return 0
+	}
+	b := int((t - ts.start) / ts.width)
+	if b >= len(ts.sum) {
+		b = len(ts.sum) - 1
+	}
+	return b
+}
+
+// Observe records value v at time t.
+func (ts *TimeSeries) Observe(t eventq.Time, v float64) {
+	b := ts.binFor(t)
+	ts.sum[b] += v
+	ts.count[b]++
+	if v > ts.max[b] {
+		ts.max[b] = v
+	}
+}
+
+// AddTo adds v into the bin containing t without bumping the observation
+// count statistics used by Mean; used to accumulate byte counters.
+func (ts *TimeSeries) AddTo(t eventq.Time, v float64) {
+	ts.sum[ts.binFor(t)] += v
+}
+
+// Bins returns the number of bins.
+func (ts *TimeSeries) Bins() int { return len(ts.sum) }
+
+// BinTime returns the start time of bin b.
+func (ts *TimeSeries) BinTime(b int) eventq.Time {
+	return ts.start + eventq.Time(b)*ts.width
+}
+
+// BinWidth returns the width of each bin.
+func (ts *TimeSeries) BinWidth() eventq.Time { return ts.width }
+
+// Sum returns the accumulated sum in bin b.
+func (ts *TimeSeries) Sum(b int) float64 { return ts.sum[b] }
+
+// Mean returns the mean observation in bin b (0 if the bin is empty).
+func (ts *TimeSeries) Mean(b int) float64 {
+	if ts.count[b] == 0 {
+		return 0
+	}
+	return ts.sum[b] / float64(ts.count[b])
+}
+
+// Max returns the largest observation in bin b.
+func (ts *TimeSeries) Max(b int) float64 { return ts.max[b] }
+
+// RateBps interprets bin b's sum as bytes and returns the average rate in
+// bits per second over the bin.
+func (ts *TimeSeries) RateBps(b int) float64 {
+	return ts.sum[b] * 8 / ts.width.Seconds()
+}

@@ -1,0 +1,87 @@
+package topo
+
+import (
+	"uno/internal/netsim"
+)
+
+// ecmpHash mixes the packet's entropy, flow identity, and a per-switch salt
+// into the index used to pick among an ECMP group. Different switches use
+// different salts (their node IDs), mirroring real deployments where each
+// switch's hash function is independently seeded.
+func ecmpHash(entropy uint32, flow netsim.FlowID, src, dst netsim.NodeID, salt uint64) uint64 {
+	h := uint64(entropy)<<32 | uint64(uint32(flow))
+	h ^= uint64(src)<<48 ^ uint64(dst)<<16 ^ salt*0x9e3779b97f4a7c15
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// fatTreeRouter implements netsim.Router for the dual-DC fat-tree. Port
+// index layout (established by Build):
+//
+//	edge:   [0, hpe)            host downlinks
+//	        [hpe, hpe+pp)       agg uplinks
+//	agg:    [0, pp)             edge downlinks
+//	        [pp, 2*pp)          core uplinks
+//	core:   [0, pods)           per-pod agg downlinks
+//	        pods                border uplink (multi-DC only)
+//	border: [0, cores)          core downlinks
+//	        [cores, ...)        inter-DC uplinks grouped by destination DC
+type fatTreeRouter struct {
+	t *DualDC
+}
+
+func (r *fatTreeRouter) Route(sw *netsim.Switch, p *netsim.Packet) int {
+	cfg := r.t.Cfg
+	dst := r.t.Coord(p.Dst)
+	pp := cfg.perPod()
+	hpe := cfg.hostsPerEdge()
+	pick := func(base, n int) int {
+		if n == 1 {
+			return base
+		}
+		return base + int(ecmpHash(p.Entropy, p.Flow, p.Src, p.Dst, uint64(sw.ID()))%uint64(n))
+	}
+
+	switch sw.Tier {
+	case TierEdge:
+		if dst.DC == sw.DC && dst.Pod == sw.Meta[0] && dst.Edge == sw.Meta[1] {
+			return dst.Idx // host downlink
+		}
+		return pick(hpe, pp) // up to any agg in the pod
+
+	case TierAgg:
+		if dst.DC == sw.DC && dst.Pod == sw.Meta[0] {
+			return dst.Edge // down to the destination edge
+		}
+		return pick(pp, pp) // up to any of this agg's cores
+
+	case TierCore:
+		if dst.DC == sw.DC {
+			return dst.Pod // exactly one downlink per pod
+		}
+		if cfg.NumDCs == 1 {
+			return -1
+		}
+		return cfg.pods() // border uplink
+
+	case TierBorder:
+		if dst.DC == sw.DC {
+			// Down toward any core; every core reaches every pod.
+			return pick(0, cfg.cores())
+		}
+		// Toward the destination DC's border: inter-DC ports are grouped
+		// by destination DC in ascending order, skipping our own DC.
+		group := dst.DC
+		if dst.DC > sw.DC {
+			group--
+		}
+		base := cfg.cores() + group*cfg.BorderLinks
+		return pick(base, cfg.BorderLinks)
+	}
+	return -1
+}

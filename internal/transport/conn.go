@@ -1,0 +1,686 @@
+package transport
+
+import (
+	"fmt"
+
+	"uno/internal/eventq"
+	"uno/internal/netsim"
+	"uno/internal/rng"
+)
+
+// pktState tracks one schedule entry at the sender.
+type pktState struct {
+	sentAt      eventq.Time
+	entropy     uint32
+	subflow     int8
+	sent        bool
+	acked       bool
+	dontCare    bool // block satisfied without this packet; never (re)send
+	inFlight    bool
+	lossPending bool // queued for retransmission, not yet re-sent
+	rtxCount    uint8
+}
+
+// ConnStats are cumulative sender-side counters.
+type ConnStats struct {
+	PktsSent      uint64
+	PktsRetrans   uint64
+	AcksReceived  uint64
+	MarkedAcks    uint64
+	Timeouts      uint64
+	FastRetrans   uint64
+	NacksReceived uint64
+	CnmsReceived  uint64 // QCN congestion notifications received
+	TrimNotices   uint64 // trimmed-packet loss notifications received
+	BytesAcked    int64  // wire bytes acknowledged (first ACK per packet)
+}
+
+// Conn is the sender side of one flow. Congestion-control and path-selector
+// policies observe and steer it through the exported accessors. All methods
+// run on the simulation goroutine.
+type Conn struct {
+	ep     *Endpoint
+	flow   *Flow
+	params Params
+	cc     CongestionControl
+	lb     PathSelector
+
+	sched  []pktDesc
+	blocks []blockDesc
+	state  []pktState
+
+	nextNew  int64   // next never-sent schedule index
+	rtxQ     []int64 // retransmission queue (schedule indices)
+	inFlight int64   // wire bytes outstanding
+	cwnd     float64 // congestion window, wire bytes
+	pacing   float64 // pacing rate in bits/s; 0 disables pacing
+
+	nextSendAt eventq.Time
+	sendEvent  *eventq.Event
+
+	srtt, rttvar eventq.Time
+	hasRTT       bool
+
+	// Lazy TCP-style retransmission timer: armed at lastProgress+rto and
+	// re-checked on expiry, so per-ACK work is O(1).
+	rtoTimer     *eventq.Event
+	rtoBackoff   uint
+	lastProgress eventq.Time
+
+	// Fast-retransmit state.
+	lowestUnacked int64
+	acksAboveLow  int
+	// maxAckedSent is the latest transmission time among acked packets —
+	// the RACK loss-sweep reference point.
+	maxAckedSent eventq.Time
+
+	blockAcked     []int16 // per-block distinct acked packets
+	blockSatisfied []bool
+
+	stats     ConnStats
+	running   bool // both policies initialized; transmission may begin
+	completed bool
+	fct       eventq.Time
+	onDone    func(*Conn)
+}
+
+// newConn builds (but does not start) a sender.
+func newConn(ep *Endpoint, flow *Flow, params Params, cc CongestionControl, lb PathSelector, onDone func(*Conn)) *Conn {
+	sched, blocks := buildSchedule(flow.Size, params)
+	c := &Conn{
+		ep:     ep,
+		flow:   flow,
+		params: params,
+		cc:     cc,
+		lb:     lb,
+		sched:  sched,
+		blocks: blocks,
+		state:  make([]pktState, len(sched)),
+		cwnd:   params.InitialCwnd,
+		onDone: onDone,
+	}
+	if len(blocks) > 0 {
+		c.blockAcked = make([]int16, len(blocks))
+		c.blockSatisfied = make([]bool, len(blocks))
+	}
+	if c.cwnd <= 0 {
+		c.cwnd = float64(params.MTU + HeaderSize)
+	}
+	return c
+}
+
+// start runs the policies' Init hooks and begins transmitting.
+func (c *Conn) start() {
+	c.lastProgress = c.Now()
+	c.cc.Init(c)
+	c.lb.Init(c)
+	c.running = true
+	c.trySend()
+}
+
+// ---- accessors for policies and harnesses ----
+
+// Flow returns the flow descriptor.
+func (c *Conn) Flow() *Flow { return c.flow }
+
+// Params returns the transport parameters.
+func (c *Conn) Params() Params { return c.params }
+
+// Scheduler returns the simulation scheduler (for policy timers).
+func (c *Conn) Scheduler() *eventq.Scheduler { return c.ep.host.Network().Sched }
+
+// Rand returns the simulation's deterministic RNG.
+func (c *Conn) Rand() *rng.Rand { return c.ep.host.Network().Rand }
+
+// Now returns the current simulated time.
+func (c *Conn) Now() eventq.Time { return c.Scheduler().Now() }
+
+// Cwnd returns the congestion window in wire bytes.
+func (c *Conn) Cwnd() float64 { return c.cwnd }
+
+// SetCwnd sets the congestion window, clamped to at least one packet.
+func (c *Conn) SetCwnd(w float64) {
+	min := float64(c.params.MTU + HeaderSize)
+	if w < min {
+		w = min
+	}
+	grew := w > c.cwnd
+	c.cwnd = w
+	if grew && !c.completed {
+		c.trySend()
+	}
+}
+
+// PacingRate returns the pacing rate in bits per second (0 = unpaced).
+func (c *Conn) PacingRate() float64 { return c.pacing }
+
+// SetPacingRate sets the pacing rate in bits per second; 0 disables pacing.
+func (c *Conn) SetPacingRate(bps float64) {
+	if bps < 0 {
+		bps = 0
+	}
+	c.pacing = bps
+	if !c.completed {
+		c.trySend()
+	}
+}
+
+// SRTT returns the smoothed RTT (0 before the first sample).
+func (c *Conn) SRTT() eventq.Time { return c.srtt }
+
+// InFlight returns the outstanding wire bytes.
+func (c *Conn) InFlight() int64 { return c.inFlight }
+
+// Stats returns a snapshot of the connection counters.
+func (c *Conn) Stats() ConnStats { return c.stats }
+
+// Completed reports whether the flow finished.
+func (c *Conn) Completed() bool { return c.completed }
+
+// FCT returns the flow completion time (valid only once Completed).
+func (c *Conn) FCT() eventq.Time { return c.fct }
+
+// MTUWire returns the wire size of a full data packet.
+func (c *Conn) MTUWire() int { return c.params.MTU + HeaderSize }
+
+// TotalPkts returns the schedule length (data + parity packets).
+func (c *Conn) TotalPkts() int64 { return int64(len(c.sched)) }
+
+// ---- sending ----
+
+// wireSize returns the wire size of schedule entry seq.
+func (c *Conn) wireSize(seq int64) int { return c.sched[seq].wire }
+
+// nextToSend picks the next schedule index to transmit: retransmissions
+// first, then fresh packets. Returns -1 when nothing is eligible.
+func (c *Conn) nextToSend() int64 {
+	for len(c.rtxQ) > 0 {
+		seq := c.rtxQ[0]
+		st := &c.state[seq]
+		if st.acked || st.dontCare || st.inFlight || !st.lossPending {
+			c.rtxQ = c.rtxQ[1:]
+			continue
+		}
+		return seq
+	}
+	for c.nextNew < int64(len(c.sched)) {
+		seq := c.nextNew
+		if c.state[seq].dontCare {
+			c.nextNew++
+			continue
+		}
+		return seq
+	}
+	return -1
+}
+
+// trySend transmits as many packets as the window and pacer allow.
+func (c *Conn) trySend() {
+	if !c.running || c.completed {
+		return
+	}
+	for {
+		now := c.Now()
+		if c.pacing > 0 && now < c.nextSendAt {
+			c.armSendEvent(c.nextSendAt)
+			return
+		}
+		seq := c.nextToSend()
+		if seq < 0 {
+			return
+		}
+		size := c.wireSize(seq)
+		// Window check: always allow one packet when nothing is in
+		// flight, so the flow can never stall on a tiny window.
+		if c.inFlight > 0 && float64(c.inFlight+int64(size)) > c.cwnd {
+			return
+		}
+		c.transmit(seq)
+		if c.pacing > 0 {
+			c.nextSendAt = now + eventq.Time(float64(size)*8*float64(eventq.Second)/c.pacing)
+		}
+	}
+}
+
+// armSendEvent schedules a pacer wakeup at time at.
+func (c *Conn) armSendEvent(at eventq.Time) {
+	if c.sendEvent != nil && !c.sendEvent.Cancelled() {
+		if c.sendEvent.At() <= at {
+			return
+		}
+		c.sendEvent.Cancel()
+	}
+	c.sendEvent = c.Scheduler().Schedule(at, func() {
+		c.sendEvent = nil
+		c.trySend()
+	})
+}
+
+// transmit puts schedule entry seq on the wire.
+func (c *Conn) transmit(seq int64) {
+	d := &c.sched[seq]
+	st := &c.state[seq]
+	p := &netsim.Packet{
+		Type:       netsim.Data,
+		Flow:       c.flow.ID,
+		Src:        c.flow.Src.ID(),
+		Dst:        c.flow.Dst.ID(),
+		Size:       d.wire,
+		Seq:        seq,
+		ECNCapable: true,
+		SentAt:     c.Now(),
+		IsRtx:      st.sent,
+		Block:      d.block,
+		BlockIdx:   d.blockIdx,
+		IsParity:   d.parity,
+		Subflow:    -1,
+	}
+	if c.flow.InterDC {
+		p.Class = 1 // class-queue ports separate WAN from local traffic
+	}
+	c.lb.Assign(c, p)
+
+	if st.sent {
+		c.stats.PktsRetrans++
+	} else {
+		c.lastProgress = p.SentAt
+	}
+	c.stats.PktsSent++
+	st.sentAt = p.SentAt
+	st.entropy = p.Entropy
+	st.subflow = p.Subflow
+	st.sent = true
+	st.lossPending = false
+	if !st.inFlight { // probes may re-send an already-counted packet
+		st.inFlight = true
+		c.inFlight += int64(d.wire)
+	}
+	if st.rtxCount < 255 {
+		st.rtxCount++
+	}
+	if seq == c.nextNew {
+		c.nextNew++
+	}
+	c.flow.Src.Send(p)
+	c.armRTO()
+}
+
+// ---- RTO ----
+
+// rto returns the current retransmission timeout with backoff applied.
+func (c *Conn) rto() eventq.Time {
+	base := c.params.MinRTO
+	if c.hasRTT {
+		if est := c.srtt + 4*c.rttvar; est > base {
+			base = est
+		}
+	}
+	for i := uint(0); i < c.rtoBackoff; i++ {
+		base *= 2
+		if base >= c.params.MaxRTO {
+			return c.params.MaxRTO
+		}
+	}
+	return base
+}
+
+// armRTO schedules the lazy retransmission timer if none is pending.
+func (c *Conn) armRTO() {
+	if c.completed || c.rtoTimer != nil {
+		return
+	}
+	at := c.lastProgress + c.rto()
+	if at < c.Now() {
+		at = c.Now()
+	}
+	c.rtoTimer = c.Scheduler().Schedule(at, func() {
+		c.rtoTimer = nil
+		c.onRTO()
+	})
+}
+
+// onRTO fires when the lazy timer expires. If real progress happened in
+// the meantime it simply re-arms; otherwise the oldest outstanding packet
+// is declared lost (or, if everything is acknowledged but the flow never
+// saw FlowDone — the final ACK was lost — the last packet is re-sent as a
+// probe to solicit a fresh FlowDone).
+func (c *Conn) onRTO() {
+	if c.completed {
+		return
+	}
+	if deadline := c.lastProgress + c.rto(); c.Now() < deadline {
+		c.armRTO()
+		return
+	}
+	c.stats.Timeouts++
+	c.lastProgress = c.Now()
+	if c.rtoBackoff < 16 {
+		c.rtoBackoff++
+	}
+
+	// Oldest outstanding packet, scanned only on (rare) timeouts.
+	oldest := int64(-1)
+	var oldestAt eventq.Time
+	for seq := c.lowestUnacked; seq < c.nextNew; seq++ {
+		st := &c.state[seq]
+		if st.inFlight && !st.acked && !st.dontCare {
+			if oldest < 0 || st.sentAt < oldestAt {
+				oldest, oldestAt = seq, st.sentAt
+			}
+		}
+	}
+	switch {
+	case oldest >= 0:
+		// Declare lost everything at least one RTO old, not only the
+		// single oldest packet: a burst dropped wholesale would otherwise
+		// be reclaimed one packet per timeout.
+		cutoff := c.Now() - c.rto()
+		for seq := c.lowestUnacked; seq < c.nextNew; seq++ {
+			st := &c.state[seq]
+			if st.acked || st.dontCare || st.lossPending || !st.inFlight {
+				continue
+			}
+			if st.sentAt <= cutoff {
+				st.inFlight = false
+				st.lossPending = true
+				c.inFlight -= int64(c.wireSize(seq))
+				c.rtxQ = append(c.rtxQ, seq)
+			}
+		}
+	case c.nextNew >= int64(len(c.sched)) && len(c.rtxQ) == 0:
+		// Everything sent and acknowledged but no FlowDone: probe.
+		c.probeFinalAck()
+	}
+	c.cc.OnTimeout(c)
+	c.lb.OnTimeout(c)
+	c.armRTO()
+	c.trySend()
+}
+
+// probeFinalAck re-sends the last schedule entry to solicit a FlowDone.
+func (c *Conn) probeFinalAck() {
+	seq := int64(len(c.sched)) - 1
+	c.transmit(seq)
+}
+
+// ---- receive path (ACK / NACK handling) ----
+
+// handleAck processes one incoming ACK packet.
+func (c *Conn) handleAck(p *netsim.Packet) {
+	if c.completed {
+		return
+	}
+	now := c.Now()
+	c.stats.AcksReceived++
+	if p.EchoMarked {
+		c.stats.MarkedAcks++
+	}
+
+	seq := p.AckSeq
+	if seq < 0 || seq >= int64(len(c.state)) {
+		panic(fmt.Sprintf("transport: flow %d ack for bad seq %d", c.flow.ID, seq))
+	}
+	st := &c.state[seq]
+
+	if p.EchoTrimmed {
+		// Fast loss notification: the packet's payload was trimmed at a
+		// congested queue. Queue an immediate retransmission and let the
+		// policies treat it as a congestion/path signal.
+		c.stats.TrimNotices++
+		if !st.acked && !st.dontCare && !st.lossPending {
+			if st.inFlight {
+				st.inFlight = false
+				c.inFlight -= int64(c.wireSize(seq))
+			}
+			st.lossPending = true
+			c.rtxQ = append(c.rtxQ, seq)
+		}
+		c.cc.OnNack(c)
+		c.lb.OnNack(c)
+		if p.FlowDone {
+			c.finish(now)
+			return
+		}
+		c.armRTO()
+		c.trySend()
+		return
+	}
+
+	info := AckInfo{
+		Seq:    seq,
+		Marked: p.EchoMarked,
+		SentAt: p.EchoSentAt,
+		IsRtx:  p.EchoRtx,
+		Now:    now,
+	}
+	// RTT sampling (Karn's rule: skip retransmitted packets).
+	if !p.EchoRtx {
+		if rtt := now - p.EchoSentAt; rtt > 0 {
+			info.RTT = rtt
+			c.updateRTT(rtt)
+		}
+	}
+
+	// Any ACK for a packet we believe is in flight removes it from the
+	// in-flight accounting, including probes of already-acked packets.
+	if st.inFlight {
+		st.inFlight = false
+		c.inFlight -= int64(c.wireSize(seq))
+	}
+	if !st.acked {
+		st.acked = true
+		st.lossPending = false
+		info.Bytes = c.wireSize(seq)
+		c.stats.BytesAcked += int64(info.Bytes)
+		c.rtoBackoff = 0
+		c.lastProgress = now
+		if d := &c.sched[seq]; d.block >= 0 && !st.dontCare {
+			c.blockAcked[d.block]++
+		}
+	}
+
+	// Receiver-confirmed block completion lets the sender drop stragglers.
+	if p.AckBlock >= 0 && p.AckBlockOK {
+		c.satisfyBlock(p.AckBlock)
+	}
+	if p.EchoSentAt > c.maxAckedSent {
+		c.maxAckedSent = p.EchoSentAt
+	}
+	c.advanceLowestUnacked()
+	c.maybeFastRetransmit(info)
+	c.rackSweep()
+
+	c.cc.OnAck(c, info)
+	c.lb.OnAck(c, info, p.Subflow, p.Entropy)
+
+	if p.FlowDone {
+		c.finish(now)
+		return
+	}
+	c.armRTO()
+	c.trySend()
+}
+
+// updateRTT runs the RFC 6298 estimator.
+func (c *Conn) updateRTT(rtt eventq.Time) {
+	if !c.hasRTT {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+		c.hasRTT = true
+		return
+	}
+	diff := c.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	c.rttvar = (3*c.rttvar + diff) / 4
+	c.srtt = (7*c.srtt + rtt) / 8
+}
+
+// satisfyBlock marks block b decodable: unacked packets become don't-care
+// and leave the in-flight accounting and retransmission queues.
+func (c *Conn) satisfyBlock(b int32) {
+	if len(c.blocks) == 0 || c.blockSatisfied[b] {
+		return
+	}
+	c.blockSatisfied[b] = true
+	blk := c.blocks[b]
+	for seq := blk.start; seq < blk.start+int64(blk.count); seq++ {
+		st := &c.state[seq]
+		if st.acked || st.dontCare {
+			continue
+		}
+		st.dontCare = true
+		st.lossPending = false
+		if st.inFlight {
+			st.inFlight = false
+			c.inFlight -= int64(c.wireSize(seq))
+		}
+	}
+}
+
+// advanceLowestUnacked moves the fast-retransmit cursor past finished
+// packets.
+func (c *Conn) advanceLowestUnacked() {
+	moved := false
+	for c.lowestUnacked < int64(len(c.state)) {
+		st := &c.state[c.lowestUnacked]
+		if st.acked || st.dontCare {
+			c.lowestUnacked++
+			moved = true
+			continue
+		}
+		break
+	}
+	if moved {
+		c.acksAboveLow = 0
+	}
+}
+
+// maybeFastRetransmit implements duplicate-ACK-style loss detection with a
+// RACK-flavoured guard: once DupAckThresh packets that were sent *after*
+// the lowest unacked in-flight packet are acknowledged, that packet is
+// declared lost and queued for retransmission. The send-time comparison
+// prevents re-declaring a freshly retransmitted packet lost on ACKs of the
+// original window.
+func (c *Conn) maybeFastRetransmit(info AckInfo) {
+	low := c.lowestUnacked
+	if low >= int64(len(c.state)) || info.Seq <= low {
+		return
+	}
+	st := &c.state[low]
+	if !st.sent || st.acked || st.dontCare || st.lossPending || !st.inFlight {
+		return
+	}
+	if info.SentAt < st.sentAt {
+		return // evidence predates the candidate's last transmission
+	}
+	c.acksAboveLow++
+	if c.acksAboveLow < c.params.DupAckThresh {
+		return
+	}
+	c.acksAboveLow = 0
+	st.inFlight = false
+	st.lossPending = true
+	c.inFlight -= int64(c.wireSize(low))
+	c.stats.FastRetrans++
+	c.rtxQ = append(c.rtxQ, low)
+}
+
+// rackSweep declares lost every leading outstanding packet whose last
+// transmission predates the newest acked transmission by more than a
+// reordering window (RACK-style time-based loss detection). It walks from
+// the lowest unacked packet and stops at the first one that is not provably
+// old, which keeps the per-ACK cost O(1) amortized: without it, a large
+// initial burst that mostly tail-drops (incast with a BDP-sized initial
+// window) leaves in-flight bytes that only RTOs would reclaim, one packet
+// at a time.
+func (c *Conn) rackSweep() {
+	if c.maxAckedSent == 0 {
+		return
+	}
+	win := c.srtt / 4
+	if win <= 0 {
+		win = c.params.BaseRTT / 4
+	}
+	for seq := c.lowestUnacked; seq < c.nextNew; seq++ {
+		st := &c.state[seq]
+		if st.acked || st.dontCare || st.lossPending {
+			continue
+		}
+		if !st.inFlight || st.sentAt+win >= c.maxAckedSent {
+			break
+		}
+		st.inFlight = false
+		st.lossPending = true
+		c.inFlight -= int64(c.wireSize(seq))
+		c.stats.FastRetrans++
+		c.rtxQ = append(c.rtxQ, seq)
+	}
+}
+
+// handleNack processes a UnoRC block NACK: retransmit the listed missing
+// packets and tell the policies.
+func (c *Conn) handleNack(p *netsim.Packet) {
+	if c.completed {
+		return
+	}
+	c.stats.NacksReceived++
+	b := p.NackBlock
+	if b < 0 || int(b) >= len(c.blocks) || c.blockSatisfied[b] {
+		return
+	}
+	blk := c.blocks[b]
+	for _, idx := range p.Missing {
+		seq := blk.start + int64(idx)
+		if idx < 0 || seq >= blk.start+int64(blk.count) {
+			continue
+		}
+		st := &c.state[seq]
+		if st.acked || st.dontCare || !st.sent || st.lossPending {
+			continue
+		}
+		if st.inFlight {
+			st.inFlight = false
+			c.inFlight -= int64(c.wireSize(seq))
+		}
+		st.lossPending = true
+		c.rtxQ = append(c.rtxQ, seq)
+	}
+	c.cc.OnNack(c)
+	c.lb.OnNack(c)
+	c.armRTO()
+	c.trySend()
+}
+
+// handleCnm delivers a QCN congestion notification to controllers that
+// opt in via the CnmReceiver extension interface.
+func (c *Conn) handleCnm(p *netsim.Packet) {
+	if c.completed {
+		return
+	}
+	c.stats.CnmsReceived++
+	if r, ok := c.cc.(CnmReceiver); ok {
+		r.OnCnm(c, p.Feedback)
+	}
+}
+
+// finish records completion and stops all timers.
+func (c *Conn) finish(now eventq.Time) {
+	if c.completed {
+		return
+	}
+	c.completed = true
+	c.fct = now - c.flow.Start
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+		c.rtoTimer = nil
+	}
+	if c.sendEvent != nil {
+		c.sendEvent.Cancel()
+		c.sendEvent = nil
+	}
+	if c.onDone != nil {
+		c.onDone(c)
+	}
+}

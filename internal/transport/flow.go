@@ -1,0 +1,187 @@
+// Package transport implements the reliable, window-based transport
+// framework every protocol in this reproduction runs on: byte-sequenced
+// data packets, per-packet ACKs echoing ECN marks and timestamps, RTT
+// estimation, fast retransmit and RTO recovery, optional pacing, optional
+// UnoRC erasure-coded block framing with receiver NACK timers, and
+// pluggable congestion-control and path-selection (load-balancing)
+// policies.
+//
+// The split mirrors the paper's architecture (Fig 5): congestion control
+// (UnoCC, Gemini, MPRDMA, BBR) and reliable connectivity (erasure coding +
+// load balancing) are policies layered over one shared transport substrate.
+package transport
+
+import (
+	"fmt"
+
+	"uno/internal/eventq"
+	"uno/internal/netsim"
+)
+
+// HeaderSize is the per-packet header overhead in bytes added to every data
+// packet's wire size.
+const HeaderSize = 64
+
+// Flow describes one message transfer.
+type Flow struct {
+	ID    netsim.FlowID
+	Src   *netsim.Host
+	Dst   *netsim.Host
+	Size  int64       // application payload bytes
+	Start eventq.Time // arrival time of the message at the sender
+
+	// InterDC records whether the flow crosses datacenters; harnesses use
+	// it for reporting and protocols may use it for configuration.
+	InterDC bool
+}
+
+// ECConfig enables UnoRC erasure coding on a flow.
+type ECConfig struct {
+	// Data and Parity packets per block — the paper's default scheme is
+	// (8, 2) (§5.2.3).
+	Data, Parity int
+	// BlockTimeout is the receiver's NACK timer: the estimated maximum
+	// queuing + transmission delay to gather a block (§4.2).
+	BlockTimeout eventq.Time
+}
+
+// Enabled reports whether erasure coding is configured.
+func (e ECConfig) Enabled() bool { return e.Data > 0 }
+
+// Params are per-flow transport parameters.
+type Params struct {
+	// MTU is the data packet payload size in bytes (paper default 4096).
+	MTU int
+	// BaseRTT is the unloaded round-trip estimate used to seed RTO and
+	// pacing before any RTT sample exists.
+	BaseRTT eventq.Time
+	// MinRTO floors the retransmission timeout.
+	MinRTO eventq.Time
+	// MaxRTO caps exponential RTO backoff.
+	MaxRTO eventq.Time
+	// InitialCwnd in bytes. Zero defaults to one BDP-ish window chosen by
+	// the congestion controller's Init.
+	InitialCwnd float64
+	// DupAckThresh is the number of ACKs above the lowest unacked packet
+	// before fast retransmit fires. Raise it for load balancers that
+	// reorder (RPS, UnoLB).
+	DupAckThresh int
+	// EC optionally enables erasure coding (inter-DC flows under UnoRC).
+	EC ECConfig
+}
+
+// withDefaults fills unset parameters.
+func (p Params) withDefaults() Params {
+	if p.MTU <= 0 {
+		p.MTU = 4096
+	}
+	if p.BaseRTT <= 0 {
+		p.BaseRTT = 100 * eventq.Microsecond
+	}
+	if p.MinRTO <= 0 {
+		p.MinRTO = 4 * p.BaseRTT
+	}
+	if p.MaxRTO <= 0 {
+		// A tight backoff ceiling: failure-recovery experiments depend on
+		// timeouts staying lively (each RTO is also a repath opportunity
+		// for the load balancers), and a 64× ceiling lets one bad streak
+		// sleep through hundreds of milliseconds.
+		p.MaxRTO = 8 * p.MinRTO
+	}
+	if p.DupAckThresh <= 0 {
+		p.DupAckThresh = 3
+	}
+	if p.EC.Enabled() && p.EC.BlockTimeout <= 0 {
+		p.EC.BlockTimeout = p.BaseRTT
+	}
+	return p
+}
+
+// validate rejects nonsensical parameters.
+func (p Params) validate() error {
+	if p.EC.Data < 0 || p.EC.Parity < 0 {
+		return fmt.Errorf("transport: invalid EC config %+v", p.EC)
+	}
+	return nil
+}
+
+// pktDesc is one entry of a flow's static transmission schedule: the
+// sequence space covers data packets and, with EC enabled, the interleaved
+// parity packets of each block.
+type pktDesc struct {
+	payload  int   // payload bytes (0 for parity packets' accounting, see wire)
+	wire     int   // bytes on the wire
+	block    int32 // block number (-1 without EC)
+	blockIdx int16 // index within the block
+	parity   bool
+}
+
+// blockDesc summarizes one erasure-coding block of the schedule.
+type blockDesc struct {
+	start     int64 // first schedule index of the block
+	count     int16 // total packets in the block (data + parity)
+	dataCount int16 // packets required to decode (= data packets)
+}
+
+// buildSchedule constructs the deterministic transmission schedule for a
+// flow: both endpoints derive it independently, so no control handshake is
+// needed. Without EC the schedule is ceil(size/MTU) data packets. With EC,
+// data packets are grouped into blocks of EC.Data and each block is
+// followed by EC.Parity parity packets sized like the block's largest
+// payload.
+func buildSchedule(size int64, p Params) ([]pktDesc, []blockDesc) {
+	if size <= 0 {
+		size = 1
+	}
+	mtu := int64(p.MTU)
+	nData := (size + mtu - 1) / mtu
+	lastPayload := int(size - (nData-1)*mtu)
+
+	if !p.EC.Enabled() {
+		descs := make([]pktDesc, nData)
+		for i := int64(0); i < nData; i++ {
+			payload := p.MTU
+			if i == nData-1 {
+				payload = lastPayload
+			}
+			descs[i] = pktDesc{payload: payload, wire: payload + HeaderSize, block: -1, blockIdx: -1}
+		}
+		return descs, nil
+	}
+
+	x, y := int64(p.EC.Data), int64(p.EC.Parity)
+	nBlocks := (nData + x - 1) / x
+	descs := make([]pktDesc, 0, nData+nBlocks*y)
+	blocks := make([]blockDesc, 0, nBlocks)
+	dataLeft := nData
+	for b := int64(0); b < nBlocks; b++ {
+		d := x
+		if dataLeft < d {
+			d = dataLeft
+		}
+		dataLeft -= d
+		start := int64(len(descs))
+		maxPayload := 0
+		for i := int64(0); i < d; i++ {
+			payload := p.MTU
+			if b*x+i == nData-1 {
+				payload = lastPayload
+			}
+			if payload > maxPayload {
+				maxPayload = payload
+			}
+			descs = append(descs, pktDesc{
+				payload: payload, wire: payload + HeaderSize,
+				block: int32(b), blockIdx: int16(i),
+			})
+		}
+		for j := int64(0); j < y; j++ {
+			descs = append(descs, pktDesc{
+				payload: 0, wire: maxPayload + HeaderSize,
+				block: int32(b), blockIdx: int16(d + j), parity: true,
+			})
+		}
+		blocks = append(blocks, blockDesc{start: start, count: int16(d + y), dataCount: int16(d)})
+	}
+	return descs, blocks
+}

@@ -1,0 +1,255 @@
+package transport
+
+import (
+	"uno/internal/eventq"
+	"uno/internal/netsim"
+)
+
+// rcvBlock tracks one erasure-coding block at the receiver.
+type rcvBlock struct {
+	got       int16
+	dataCount int16
+	count     int16
+	complete  bool
+	timer     *eventq.Event
+	nacks     int
+}
+
+// Receiver is the receive side of one flow: it tracks which schedule
+// entries arrived, detects block completion for erasure-coded flows, arms
+// the per-block NACK timers of §4.2, and acknowledges every data packet.
+type Receiver struct {
+	ep     *Endpoint
+	flow   *Flow
+	params Params
+
+	sched    []pktDesc
+	got      []uint64 // arrival bitmap over the schedule
+	gotCount int64    // distinct packets received
+	dataGot  int64    // distinct data (non-parity) packets received
+	nData    int64    // total data packets in the schedule
+	blocks   []rcvBlock
+
+	complete   bool
+	completeAt eventq.Time
+
+	// Stats.
+	DupPkts     uint64
+	NacksSent   uint64
+	TrimmedPkts uint64
+}
+
+// maxBlockNacks bounds NACK retries per block; beyond it the sender's RTO
+// is the backstop.
+const maxBlockNacks = 8
+
+func newReceiver(ep *Endpoint, flow *Flow, params Params) *Receiver {
+	sched, blockDescs := buildSchedule(flow.Size, params)
+	r := &Receiver{
+		ep:     ep,
+		flow:   flow,
+		params: params,
+		sched:  sched,
+		got:    make([]uint64, (len(sched)+63)/64),
+	}
+	for _, d := range sched {
+		if !d.parity {
+			r.nData++
+		}
+	}
+	if len(blockDescs) > 0 {
+		r.blocks = make([]rcvBlock, len(blockDescs))
+		for i, b := range blockDescs {
+			r.blocks[i] = rcvBlock{dataCount: b.dataCount, count: b.count}
+		}
+	}
+	return r
+}
+
+// Complete reports whether the full message is reconstructable.
+func (r *Receiver) Complete() bool { return r.complete }
+
+// CompleteAt returns when the message became reconstructable.
+func (r *Receiver) CompleteAt() eventq.Time { return r.completeAt }
+
+func (r *Receiver) has(seq int64) bool {
+	return r.got[seq>>6]&(1<<(uint(seq)&63)) != 0
+}
+
+func (r *Receiver) set(seq int64) {
+	r.got[seq>>6] |= 1 << (uint(seq) & 63)
+}
+
+// handleData processes an arriving data packet and responds with an ACK.
+func (r *Receiver) handleData(p *netsim.Packet) {
+	seq := p.Seq
+	if seq < 0 || seq >= int64(len(r.sched)) {
+		return
+	}
+	d := &r.sched[seq]
+
+	if p.Trimmed {
+		// The payload was cut at an overflowing queue: echo an immediate
+		// loss notification instead of recording a delivery (NDP-style).
+		r.TrimmedPkts++
+		ack := &netsim.Packet{
+			Type:        netsim.Ack,
+			Flow:        r.flow.ID,
+			Src:         r.flow.Dst.ID(),
+			Dst:         r.flow.Src.ID(),
+			Size:        netsim.AckSize,
+			Entropy:     r.ep.host.Network().Rand.Uint32(),
+			AckSeq:      seq,
+			EchoSentAt:  p.SentAt,
+			EchoRtx:     p.IsRtx,
+			EchoTrimmed: true,
+			AckBlock:    -1,
+			FlowDone:    r.complete,
+			Subflow:     p.Subflow,
+		}
+		r.ep.host.Send(ack)
+		return
+	}
+
+	if !r.has(seq) {
+		r.set(seq)
+		r.gotCount++
+		if !d.parity {
+			r.dataGot++
+		}
+		if d.block >= 0 {
+			r.onBlockArrival(d.block)
+		}
+		r.checkComplete()
+	} else {
+		r.DupPkts++
+	}
+
+	blockOK := false
+	if d.block >= 0 {
+		blockOK = r.blocks[d.block].complete
+	}
+	ack := &netsim.Packet{
+		Type:       netsim.Ack,
+		Flow:       r.flow.ID,
+		Src:        r.flow.Dst.ID(),
+		Dst:        r.flow.Src.ID(),
+		Size:       netsim.AckSize,
+		Entropy:    r.ep.host.Network().Rand.Uint32(),
+		AckSeq:     seq,
+		EchoSentAt: p.SentAt,
+		EchoMarked: p.ECNMarked,
+		EchoRtx:    p.IsRtx,
+		AckBlock:   d.block,
+		AckBlockOK: blockOK,
+		FlowDone:   r.complete,
+		Subflow:    p.Subflow,
+	}
+	if d.block < 0 {
+		ack.AckBlock = -1
+	}
+	r.ep.host.Send(ack)
+}
+
+// onBlockArrival updates block state for a newly received packet.
+func (r *Receiver) onBlockArrival(b int32) {
+	blk := &r.blocks[b]
+	if blk.complete {
+		return
+	}
+	blk.got++
+	if blk.got >= blk.dataCount {
+		// MDS property: any dataCount distinct packets decode the block.
+		blk.complete = true
+		if blk.timer != nil {
+			blk.timer.Cancel()
+			blk.timer = nil
+		}
+		return
+	}
+	if blk.timer == nil && blk.got == 1 {
+		r.armBlockTimer(b, r.params.EC.BlockTimeout)
+	}
+}
+
+// armBlockTimer starts the NACK timer of §4.2: if the block is still not
+// decodable when it fires, a NACK listing the missing packets is sent.
+func (r *Receiver) armBlockTimer(b int32, after eventq.Time) {
+	blk := &r.blocks[b]
+	blk.timer = r.ep.host.Network().Sched.After(after, func() {
+		blk.timer = nil
+		r.onBlockTimeout(b)
+	})
+}
+
+// onBlockTimeout fires the NACK path for block b.
+func (r *Receiver) onBlockTimeout(b int32) {
+	blk := &r.blocks[b]
+	if blk.complete || r.complete {
+		return
+	}
+	if blk.nacks >= maxBlockNacks {
+		return // sender RTO takes over
+	}
+	blk.nacks++
+	r.NacksSent++
+
+	// Collect missing indices within the block.
+	start := r.blockStart(b)
+	missing := make([]int16, 0, blk.count)
+	for i := int16(0); i < blk.count; i++ {
+		if !r.has(start + int64(i)) {
+			missing = append(missing, i)
+		}
+	}
+	nack := &netsim.Packet{
+		Type:      netsim.Nack,
+		Flow:      r.flow.ID,
+		Src:       r.flow.Dst.ID(),
+		Dst:       r.flow.Src.ID(),
+		Size:      netsim.AckSize,
+		Entropy:   r.ep.host.Network().Rand.Uint32(),
+		NackBlock: b,
+		Missing:   missing,
+	}
+	r.ep.host.Send(nack)
+	// Exponential backoff on retries, in case the NACK or the
+	// retransmissions are lost too.
+	backoff := r.params.EC.BlockTimeout << uint(blk.nacks)
+	if max := 8 * r.params.BaseRTT; backoff > max && max > 0 {
+		backoff = max
+	}
+	r.armBlockTimer(b, backoff)
+}
+
+// blockStart returns the first schedule index of block b.
+func (r *Receiver) blockStart(b int32) int64 {
+	// Blocks are laid out contiguously; all but the last have
+	// EC.Data+EC.Parity entries.
+	full := int64(r.params.EC.Data + r.params.EC.Parity)
+	return int64(b) * full
+}
+
+// checkComplete evaluates whether the message is fully reconstructable.
+func (r *Receiver) checkComplete() {
+	if r.complete {
+		return
+	}
+	if len(r.blocks) > 0 {
+		for i := range r.blocks {
+			if !r.blocks[i].complete {
+				return
+			}
+		}
+	} else if r.dataGot < r.nData {
+		return
+	}
+	r.complete = true
+	r.completeAt = r.ep.host.Network().Sched.Now()
+	for i := range r.blocks {
+		if t := r.blocks[i].timer; t != nil {
+			t.Cancel()
+			r.blocks[i].timer = nil
+		}
+	}
+}

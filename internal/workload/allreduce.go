@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+
+	"uno/internal/eventq"
+	"uno/internal/rng"
+)
+
+// AllreduceConfig models the paper's inter-DC AI-training workload
+// (§5.1, Fig 13 C): data-parallel training with one model replica per
+// datacenter. After each iteration's backward pass, the gradient
+// synchronization (Allreduce, or Reducescatter + Allgather) moves a burst
+// of 70-500 MiB between the datacenters, split across the participating
+// worker pairs.
+type AllreduceConfig struct {
+	// Workers is the number of host pairs (one host per DC) participating
+	// in the collective.
+	Workers int
+	// DC0Hosts / DC1Hosts are the host ranges of the two datacenters.
+	DC0Hosts, DC1Hosts HostRange
+	// MinBytes / MaxBytes bound the per-iteration gradient burst
+	// (defaults: 70 MiB and 500 MiB, per the Llama-70B parallelization
+	// the paper cites).
+	MinBytes, MaxBytes int64
+	// Iterations is the number of training iterations to generate.
+	Iterations int
+}
+
+func (c AllreduceConfig) withDefaults() AllreduceConfig {
+	if c.MinBytes <= 0 {
+		c.MinBytes = 70 << 20
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 500 << 20
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 1
+	}
+	return c
+}
+
+// Iteration is one training step's communication: the inter-DC flows of
+// the gradient exchange. Each worker pair exchanges its shard in both
+// directions (reduce-scatter one way, all-gather back).
+type Iteration struct {
+	Index int
+	// Bytes is the total gradient burst for this iteration.
+	Bytes int64
+	// Flows holds the inter-DC transfers; Start times are 0 (the harness
+	// schedules each iteration after the previous one completes).
+	Flows []FlowSpec
+}
+
+// Allreduce generates the per-iteration flow sets.
+func Allreduce(cfg AllreduceConfig, r *rng.Rand) ([]Iteration, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("workload: allreduce needs workers > 0")
+	}
+	if cfg.Workers > cfg.DC0Hosts.N() || cfg.Workers > cfg.DC1Hosts.N() {
+		return nil, fmt.Errorf("workload: %d workers exceed DC capacity", cfg.Workers)
+	}
+	// Pin worker pairs for the whole job, like a real training run.
+	w0 := r.Perm(cfg.DC0Hosts.N())[:cfg.Workers]
+	w1 := r.Perm(cfg.DC1Hosts.N())[:cfg.Workers]
+
+	iters := make([]Iteration, cfg.Iterations)
+	for i := range iters {
+		total := cfg.MinBytes
+		if cfg.MaxBytes > cfg.MinBytes {
+			total += r.Int63n(cfg.MaxBytes - cfg.MinBytes)
+		}
+		per := total / int64(cfg.Workers)
+		if per <= 0 {
+			per = 1
+		}
+		it := Iteration{Index: i, Bytes: total}
+		for w := 0; w < cfg.Workers; w++ {
+			a := cfg.DC0Hosts.Lo + w0[w]
+			b := cfg.DC1Hosts.Lo + w1[w]
+			// Reduce-scatter shard one way, all-gather shard back.
+			it.Flows = append(it.Flows,
+				FlowSpec{Src: a, Dst: b, Size: per / 2, InterDC: true},
+				FlowSpec{Src: b, Dst: a, Size: per / 2, InterDC: true},
+			)
+		}
+		iters[i] = it
+	}
+	return iters, nil
+}
+
+// IdealIterationTime returns the lower-bound communication time for an
+// iteration: the burst must cross the inter-DC cut (capacity cutBps) once
+// in each direction, plus one inter-DC RTT of latency.
+func IdealIterationTime(it Iteration, cutBps int64, interRTT eventq.Time) eventq.Time {
+	var perDir int64
+	for _, f := range it.Flows {
+		perDir += f.Size
+	}
+	perDir /= 2 // half the flows go each way; cut is full duplex
+	tx := eventq.Time(float64(perDir) * 8 / float64(cutBps) * float64(eventq.Second))
+	return tx + interRTT
+}

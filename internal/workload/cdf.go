@@ -1,0 +1,97 @@
+// Package workload generates the traffic of the paper's evaluation (§5.1):
+// flow sizes drawn from the Google WebSearch, Alibaba regional-WAN, and
+// Google RPC distributions; Poisson arrivals scaled to a target load;
+// incast and permutation microbenchmarks; and the data-parallel training
+// (Allreduce) workload of Fig 13 C.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"uno/internal/rng"
+)
+
+// CDFPoint is one knot of a piecewise-linear flow-size CDF.
+type CDFPoint struct {
+	Size int64   // flow size in bytes
+	P    float64 // cumulative probability at Size
+}
+
+// CDF is a piecewise-linear cumulative distribution over flow sizes,
+// sampled by inverse transform. The canonical instances below are
+// transcribed from the public traces the paper uses.
+type CDF struct {
+	Name   string
+	Points []CDFPoint
+}
+
+// Validate checks monotonicity and normalization.
+func (c *CDF) Validate() error {
+	if len(c.Points) < 2 {
+		return fmt.Errorf("workload: CDF %q needs at least 2 points", c.Name)
+	}
+	prev := CDFPoint{Size: -1, P: -1}
+	for _, pt := range c.Points {
+		if pt.Size <= prev.Size {
+			return fmt.Errorf("workload: CDF %q sizes not increasing at %d", c.Name, pt.Size)
+		}
+		if pt.P < prev.P {
+			return fmt.Errorf("workload: CDF %q probabilities not monotone at %v", c.Name, pt.P)
+		}
+		if pt.P < 0 || pt.P > 1 {
+			return fmt.Errorf("workload: CDF %q probability %v out of range", c.Name, pt.P)
+		}
+		prev = pt
+	}
+	if c.Points[len(c.Points)-1].P != 1 {
+		return fmt.Errorf("workload: CDF %q does not end at P=1", c.Name)
+	}
+	return nil
+}
+
+// Sample draws a flow size by inverse-transform sampling with linear
+// interpolation between knots.
+func (c *CDF) Sample(r *rng.Rand) int64 {
+	u := r.Float64()
+	pts := c.Points
+	// First knot with P >= u.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].P >= u })
+	if i == 0 {
+		return pts[0].Size
+	}
+	if i >= len(pts) {
+		return pts[len(pts)-1].Size
+	}
+	lo, hi := pts[i-1], pts[i]
+	if hi.P == lo.P {
+		return hi.Size
+	}
+	frac := (u - lo.P) / (hi.P - lo.P)
+	size := float64(lo.Size) + frac*float64(hi.Size-lo.Size)
+	if size < 1 {
+		size = 1
+	}
+	return int64(size)
+}
+
+// Mean returns the distribution's expected flow size under the
+// piecewise-linear model.
+func (c *CDF) Mean() float64 {
+	pts := c.Points
+	mean := float64(pts[0].Size) * pts[0].P
+	for i := 1; i < len(pts); i++ {
+		dp := pts[i].P - pts[i-1].P
+		mean += dp * float64(pts[i].Size+pts[i-1].Size) / 2
+	}
+	return mean
+}
+
+// MustValidate panics on an invalid CDF (used for the package's canonical
+// distributions).
+func (c *CDF) MustValidate() *CDF {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseCDF reads a flow-size distribution in the text format used by the
+// htsim/HPCC/Homa artifact CDF files (and by this paper's artifact):
+// one knot per line as
+//
+//	<size-in-bytes> <cumulative-probability>
+//
+// with '#' comments and blank lines ignored. Probabilities may be given
+// in [0,1] or as percentages in (1,100] (both appear in published traces);
+// percentages are detected by any value > 1 and normalized.
+func ParseCDF(name string, r io.Reader) (*CDF, error) {
+	c := &CDF{Name: name}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	maxP := 0.0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: %s line %d: want \"size prob\", got %q", name, lineNo, line)
+		}
+		size, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("workload: %s line %d: bad size %q", name, lineNo, fields[0])
+		}
+		p, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || p < 0 {
+			return nil, fmt.Errorf("workload: %s line %d: bad probability %q", name, lineNo, fields[1])
+		}
+		if p > maxP {
+			maxP = p
+		}
+		c.Points = append(c.Points, CDFPoint{Size: int64(size), P: p})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading %s: %w", name, err)
+	}
+	if maxP > 1 {
+		// Percent-style file: normalize to [0, 1].
+		for i := range c.Points {
+			c.Points[i].P /= 100
+		}
+	}
+	// Many published files start at a nonzero probability for the first
+	// knot; anchor the distribution at P=0 so inverse sampling covers the
+	// low tail.
+	if len(c.Points) > 0 && c.Points[0].P > 0 && c.Points[0].Size > 1 {
+		c.Points = append([]CDFPoint{{Size: c.Points[0].Size / 2, P: 0}}, c.Points...)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"uno/internal/rng"
+)
+
+func TestParseCDFBasic(t *testing.T) {
+	const file = `
+# Google web search (DCTCP) style file
+10000 0.15
+20000 0.2
+1000000 0.7
+30000000 1
+`
+	c, err := ParseCDF("ws", strings.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "ws" {
+		t.Fatal("name lost")
+	}
+	// Anchored at P=0 plus the 4 knots.
+	if len(c.Points) != 5 || c.Points[0].P != 0 {
+		t.Fatalf("points = %+v", c.Points)
+	}
+	r := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		s := c.Sample(r)
+		if s < c.Points[0].Size || s > 30000000 {
+			t.Fatalf("sample %d out of range", s)
+		}
+	}
+}
+
+func TestParseCDFPercentStyle(t *testing.T) {
+	const file = `
+1000 10
+5000 50
+90000 100
+`
+	c, err := ParseCDF("pct", strings.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastP := c.Points[len(c.Points)-1].P
+	if lastP != 1 {
+		t.Fatalf("percent file not normalized: final P = %v", lastP)
+	}
+}
+
+func TestParseCDFErrors(t *testing.T) {
+	cases := map[string]string{
+		"three fields": "1 2 3\n",
+		"bad size":     "x 0.5\n1 1\n",
+		"bad prob":     "10 y\n20 1\n",
+		"neg size":     "-5 0.5\n10 1\n",
+		"non-monotone": "10 0.5\n20 0.4\n30 1\n",
+		"not ending 1": "10 0.5\n20 0.9\n",
+		"empty":        "# only a comment\n",
+	}
+	for name, file := range cases {
+		if _, err := ParseCDF(name, strings.NewReader(file)); err == nil {
+			t.Errorf("%s parsed successfully", name)
+		}
+	}
+}
+
+func TestParseCDFRoundTripsCanonical(t *testing.T) {
+	// Serialize WebSearch in file format and parse it back: the sampled
+	// distribution must match.
+	var b strings.Builder
+	for _, p := range WebSearch.Points {
+		fmt.Fprintf(&b, "%d %g\n", p.Size, p.P)
+	}
+	c, err := ParseCDF("ws2", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Mean(), WebSearch.Mean(); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("round-trip mean %v vs %v", got, want)
+	}
+}
