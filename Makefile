@@ -1,0 +1,25 @@
+# Tier-1 verification (the gate every PR must keep green) and the fuller
+# CI path with vet + the race detector.
+
+.PHONY: build test vet race ci bench
+
+build:
+	go build ./...
+
+# Tier-1: what ROADMAP.md requires to stay no worse than the seed.
+test: build
+	go test ./...
+
+vet:
+	go vet ./...
+
+# The simulator is single-goroutine per Sim; the harness fan-out layer
+# (RunParallel) is the only sanctioned concurrency. Keep it race-clean.
+race:
+	go test -race ./...
+
+ci:
+	./scripts/ci.sh
+
+bench:
+	go test -bench . -benchtime 1x -run '^$$' ./...

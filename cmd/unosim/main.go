@@ -8,15 +8,24 @@
 //	unosim -exp fig3
 //	unosim -exp all -scale 2 -seed 7
 //	unosim -exp fig13a -out results/   # CSV artifacts
+//	unosim -exp fig13a -parallel 4     # fan independent reruns across cores
 //
 // Scale 1 is a minutes-long quick validation (like sc25_quick_validation);
 // larger scales add flows, reruns, and duration toward paper scale.
+//
+// -parallel N dispatches independent (experiment, seed) simulation runs to
+// up to N worker goroutines. Results are merged in job order, never in
+// completion order, so the output — including each report's determinism
+// digest — is byte-identical for every N. The digest line printed under a
+// report fingerprints every packet event of every constituent run; two
+// invocations with the same -seed must print the same digest.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"uno/internal/harness"
@@ -24,11 +33,13 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (fig1, fig3, fig4, table1, fig8...fig13c, ext-*) or 'all'")
-		scale = flag.Float64("scale", 1, "experiment scale; 1 = quick validation")
-		seed  = flag.Uint64("seed", 42, "base random seed")
-		list  = flag.Bool("list", false, "list available experiments")
-		out   = flag.String("out", "", "also write CSV + text artifacts under this directory (like the paper's artifact_results/)")
+		exp      = flag.String("exp", "", "experiment id (fig1, fig3, fig4, table1, fig8...fig13c, ext-*) or 'all'")
+		scale    = flag.Float64("scale", 1, "experiment scale; 1 = quick validation")
+		seed     = flag.Uint64("seed", 42, "base random seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"max concurrent simulation runs (independent reruns only; output is identical for any value)")
+		list = flag.Bool("list", false, "list available experiments")
+		out  = flag.String("out", "", "also write CSV + text artifacts under this directory (like the paper's artifact_results/)")
 	)
 	flag.Parse()
 
@@ -44,12 +55,13 @@ func main() {
 		return
 	}
 
-	cfg := harness.Config{Scale: *scale, Seed: *seed}
+	cfg := harness.Config{Scale: *scale, Seed: *seed, Parallel: *parallel}
 	run := func(e harness.Experiment) {
 		start := time.Now()
 		report := e.Run(cfg)
 		fmt.Println(report.String())
-		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s finished in %v, parallel=%d)\n\n",
+			e.ID, time.Since(start).Round(time.Millisecond), *parallel)
 		if *out != "" {
 			paths, err := report.WriteArtifacts(*out)
 			if err != nil {
@@ -60,10 +72,13 @@ func main() {
 		}
 	}
 
+	wall := time.Now()
 	if *exp == "all" {
 		for _, e := range harness.Registry() {
 			run(e)
 		}
+		fmt.Printf("(all experiments finished in %v, parallel=%d)\n",
+			time.Since(wall).Round(time.Millisecond), *parallel)
 		return
 	}
 	e, ok := harness.Find(*exp)

@@ -10,6 +10,8 @@
 // software shim (paper §6 "Hardware implementation") directly.
 package ec
 
+import "sync"
+
 // GF(2^8) arithmetic with the AES/Rijndael-compatible reducing polynomial
 // x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the polynomial conventionally used by
 // storage Reed-Solomon implementations.
@@ -77,20 +79,28 @@ func gfPow(a byte, n int) byte {
 	return gfExp[l]
 }
 
-// mulTable returns the 256-entry multiplication row for constant c. Rows are
-// cached so the hot encode/decode loops are one table lookup per byte.
-var mulRows [256]*[256]byte
+// mulTable returns the 256-entry multiplication row for constant c, so the
+// hot encode/decode loops are one table lookup per byte. All 256 rows are
+// built together under a sync.Once: the previous per-row lazy fill raced
+// when codecs encoded from multiple goroutines at once (each parallel
+// harness run owns a Sim, but they share this package-level cache), and
+// sync.Once's fast path is a single atomic load.
+var (
+	mulRows [256][256]byte
+	mulOnce sync.Once
+)
+
+func buildMulRows() {
+	for c := 0; c < 256; c++ {
+		for x := 0; x < 256; x++ {
+			mulRows[c][x] = gfMul(byte(c), byte(x))
+		}
+	}
+}
 
 func mulTable(c byte) *[256]byte {
-	if row := mulRows[c]; row != nil {
-		return row
-	}
-	row := new([256]byte)
-	for x := 0; x < 256; x++ {
-		row[x] = gfMul(c, byte(x))
-	}
-	mulRows[c] = row
-	return row
+	mulOnce.Do(buildMulRows)
+	return &mulRows[c]
 }
 
 // mulAddSlice computes dst[i] ^= c * src[i] for all i. len(dst) must equal

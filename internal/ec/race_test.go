@@ -1,0 +1,45 @@
+package ec
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCodecsAreRaceFree exercises the shared multiplication-table
+// cache from many goroutines at once — fresh codecs, no Warmup — so `go
+// test -race` catches any regression to the old lazily-filled (and racy)
+// per-row cache. Each goroutine also round-trips a reconstruction to check
+// the tables it read were fully built.
+func TestConcurrentCodecsAreRaceFree(t *testing.T) {
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := MustNew(8, 2)
+			msg := bytes.Repeat([]byte{byte(g + 1)}, 1024)
+			shards := c.Split(msg)
+			if err := c.Encode(shards); err != nil {
+				t.Errorf("goroutine %d: encode: %v", g, err)
+				return
+			}
+			// Drop two shards and reconstruct.
+			shards[1], shards[9] = nil, nil
+			if err := c.Reconstruct(shards); err != nil {
+				t.Errorf("goroutine %d: reconstruct: %v", g, err)
+				return
+			}
+			got, err := c.Join(shards, len(msg))
+			if err != nil {
+				t.Errorf("goroutine %d: join: %v", g, err)
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				t.Errorf("goroutine %d: round-trip mismatch", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -10,9 +10,10 @@ import (
 // packets per block, any eight of which reconstruct the block.
 //
 // A Codec is immutable after New and safe for concurrent use by multiple
-// goroutines (the package-level multiplication tables are built lazily but
-// idempotently; call Warmup from a single goroutine first if encoding from
-// many goroutines at once).
+// goroutines: the package-level multiplication tables are built exactly once
+// under a sync.Once, so concurrent Encode/Reconstruct calls — including the
+// first ones — are race-free. Warmup remains available to move the one-time
+// table build out of a latency-sensitive path.
 type Codec struct {
 	Data   int // number of data shards (x in the paper)
 	Parity int // number of parity shards (y in the paper)
@@ -71,16 +72,12 @@ func (c *Codec) Total() int { return c.Data + c.Parity }
 // for (8, 2).
 func (c *Codec) Overhead() float64 { return float64(c.Parity) / float64(c.Data) }
 
-// Warmup precomputes the GF multiplication rows used by the generator
-// matrix so that subsequent Encode/Reconstruct calls are read-only on
-// package state (and therefore safe to run concurrently).
+// Warmup precomputes the GF multiplication rows so the one-time table build
+// happens here instead of inside the first Encode/Reconstruct. Concurrency
+// safety does not depend on calling it (the build is guarded by a
+// sync.Once); it only moves the cost.
 func (c *Codec) Warmup() {
-	for _, v := range c.encode.data {
-		mulTable(v)
-	}
-	for i := 0; i < 256; i++ {
-		mulTable(byte(i))
-	}
+	mulOnce.Do(buildMulRows)
 }
 
 func (c *Codec) checkShards(shards [][]byte, allowNil bool) (int, error) {

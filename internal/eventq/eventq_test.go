@@ -275,6 +275,82 @@ func TestCancelSubsetProperty(t *testing.T) {
 	}
 }
 
+// Property: under a random interleaving of Schedule, Cancel and Step
+// operations — scheduling from the "outside" while the queue is being
+// drained, as harness code does — the fired sequence is nondecreasing in
+// time, same-time events fire in schedule (FIFO) order, and every event
+// fires exactly-once XOR was cancelled before firing.
+func TestInterleavedScheduleCancelProperty(t *testing.T) {
+	type rec struct {
+		ev        *Event
+		at        Time
+		fired     bool
+		cancelled bool // Cancel() issued while the event was still pending
+	}
+	type firing struct {
+		at Time
+		id int
+	}
+	for _, seed := range []uint64{1, 7, 365, 90125} {
+		r := rng.New(seed)
+		s := New()
+		var recs []*rec
+		var fired []firing
+		schedule := func() {
+			rc := &rec{at: s.Now() + Time(r.Intn(500))}
+			id := len(recs)
+			rc.ev = s.Schedule(rc.at, func() {
+				rc.fired = true
+				fired = append(fired, firing{s.Now(), id})
+			})
+			recs = append(recs, rc)
+		}
+		schedule() // never start with an empty queue
+		for op := 0; op < 3000; op++ {
+			switch p := r.Float64(); {
+			case p < 0.5:
+				schedule()
+			case p < 0.7 && len(recs) > 0:
+				rc := recs[r.Intn(len(recs))]
+				rc.ev.Cancel()
+				if !rc.fired {
+					rc.cancelled = true // Cancel after firing is a no-op
+				}
+			default:
+				s.Step()
+			}
+		}
+		s.Run() // drain the rest
+
+		for i := 1; i < len(fired); i++ {
+			a, b := fired[i-1], fired[i]
+			if b.at < a.at {
+				t.Fatalf("seed %d: event %d fired at %v after event %d at %v",
+					seed, b.id, b.at, a.id, a.at)
+			}
+			if b.at == a.at && b.id < a.id {
+				t.Fatalf("seed %d: same-time events fired out of schedule order: %d before %d at %v",
+					seed, a.id, b.id, a.at)
+			}
+		}
+		for id, rc := range recs {
+			if rc.fired == rc.cancelled {
+				t.Fatalf("seed %d: event %d fired=%v cancelled=%v; want exactly one",
+					seed, id, rc.fired, rc.cancelled)
+			}
+		}
+		if got := s.Executed(); got != uint64(len(fired)) {
+			t.Fatalf("seed %d: Executed() = %d, but %d callbacks ran", seed, got, len(fired))
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("seed %d: %d events still pending after drain", seed, s.Pending())
+		}
+		if len(fired) == 0 {
+			t.Fatalf("seed %d: property test fired no events; vacuous", seed)
+		}
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	r := rng.New(1)
 	times := make([]Time, 1024)

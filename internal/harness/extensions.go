@@ -61,6 +61,7 @@ func ExtTrim(cfg Config) *Report {
 			name = "EC"
 		}
 		tbl.AddRow(scenario, name, all.Mean, all.P99, int(timeouts))
+		r.FoldDigest(sim.Digest())
 		if sim.Pending() > 0 {
 			r.Note("%s/%s: %d flows missed the horizon", scenario, name, sim.Pending())
 		}
@@ -173,6 +174,7 @@ func ExtPrio(cfg Config) *Report {
 			ratio := (intraSum / float64(mix.intra)) / (interSum / float64(mix.inter))
 			tbl.AddRow(mix.name, stack.Name, stats.JainIndex(rates),
 				fmtFloat(ratio)+":1")
+			r.FoldDigest(sim.Digest())
 		}
 	}
 	r.Note("static 1:1 class weights give each *aggregate* half the link, so per-flow shares skew with the 2/6 vs 6/2 mix; Uno's flow-level control does not")
@@ -210,6 +212,7 @@ func ExtAnnulus(cfg Config) *Report {
 			}
 		}
 		tbl.AddRow(stack.Name, inter.Mean, inter.P99, int(timeouts))
+		r.FoldDigest(sim.Digest())
 		if sim.Pending() > 0 {
 			r.Note("%s: %d flows missed the horizon", stack.Name, sim.Pending())
 		}

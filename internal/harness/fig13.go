@@ -52,21 +52,32 @@ func Fig13A(cfg Config) *Report {
 	const nFlows = 16
 	horizon := 500 * eventq.Millisecond
 
+	// The (stack, rerun) grid is embarrassingly parallel: every job builds
+	// its own Sim and the merge below walks the outputs in job order, so
+	// the report is byte-identical at any Config.Parallel.
+	stacks := rcVariants()
+	outs := RunParallel(cfg.Parallel, len(stacks)*runs, func(job int) simOut {
+		stack, run := stacks[job/runs], job%runs
+		topoCfg := topo.DefaultConfig()
+		sim := MustNewSim(cfg.Seed+uint64(run)*101, topoCfg, stack)
+		sim.Topo.FailBorderLink(0, 1, run%topoCfg.BorderLinks)
+		sim.Schedule(interPairSpecs(topoCfg, nFlows, flowSize))
+		sim.Run(horizon)
+		return harvest(sim)
+	})
+
 	tbl := r.NewTable(fmt.Sprintf("per-flow FCT over %d reruns (µs)", runs),
 		"scheme", "mean", "p50", "p99", "max", "distribution", "incomplete")
-	for _, stack := range rcVariants() {
+	for si, stack := range stacks {
 		var fcts stats.Sample
 		incomplete := 0
 		for run := 0; run < runs; run++ {
-			topoCfg := topo.DefaultConfig()
-			sim := MustNewSim(cfg.Seed+uint64(run)*101, topoCfg, stack)
-			sim.Topo.FailBorderLink(0, 1, run%topoCfg.BorderLinks)
-			sim.Schedule(interPairSpecs(topoCfg, nFlows, flowSize))
-			sim.Run(horizon)
-			for _, res := range sim.Results() {
+			out := outs[si*runs+run]
+			for _, res := range out.Results {
 				fcts.Add(res.FCT.Seconds() * 1e6)
 			}
-			incomplete += sim.Pending()
+			incomplete += out.Pending
+			r.FoldDigest(out.Digest)
 		}
 		tbl.AddRow(stack.Name, fcts.Mean(), fcts.Median(), fcts.P99(), fcts.Max(),
 			fcts.HistogramOf(16).Sparkline(), incomplete)
@@ -86,27 +97,35 @@ func Fig13B(cfg Config) *Report {
 	const flowSize = 10 << 20
 	horizon := 400 * eventq.Millisecond
 
+	stacks := rcVariants()
+	outs := RunParallel(cfg.Parallel, len(stacks)*runs, func(job int) simOut {
+		stack, run := stacks[job/runs], job%runs
+		topoCfg := topo.DefaultConfig()
+		sim := MustNewSim(cfg.Seed+uint64(run)*211, topoCfg, stack)
+		// Amplified loss (vs Table 1's 5e-5) so the scaled-down flow
+		// count still observes losses every run; correlation shape is
+		// the measured one.
+		lr := rng.New(cfg.Seed + uint64(run)*977)
+		for _, il := range sim.Topo.InterLinkFor(0, 1) {
+			ge := failure.NewTable1Loss(failure.Setup1, lr.Split())
+			ge.PGoodToBad *= 100
+			il.Link.SetLoss(ge)
+		}
+		sim.Schedule(interPairSpecs(topoCfg, 1, flowSize))
+		sim.Run(horizon)
+		return harvest(sim)
+	})
+
 	tbl := r.NewTable(fmt.Sprintf("FCT over %d reruns (µs)", runs),
 		"scheme", "mean", "p50", "p99", "max", "distribution")
-	for _, stack := range rcVariants() {
+	for si, stack := range stacks {
 		var fcts stats.Sample
 		for run := 0; run < runs; run++ {
-			topoCfg := topo.DefaultConfig()
-			sim := MustNewSim(cfg.Seed+uint64(run)*211, topoCfg, stack)
-			// Amplified loss (vs Table 1's 5e-5) so the scaled-down flow
-			// count still observes losses every run; correlation shape is
-			// the measured one.
-			lr := rng.New(cfg.Seed + uint64(run)*977)
-			for _, il := range sim.Topo.InterLinkFor(0, 1) {
-				ge := failure.NewTable1Loss(failure.Setup1, lr.Split())
-				ge.PGoodToBad *= 100
-				il.Link.SetLoss(ge)
-			}
-			sim.Schedule(interPairSpecs(topoCfg, 1, flowSize))
-			sim.Run(horizon)
-			for _, res := range sim.Results() {
+			out := outs[si*runs+run]
+			for _, res := range out.Results {
 				fcts.Add(res.FCT.Seconds() * 1e6)
 			}
+			r.FoldDigest(out.Digest)
 		}
 		tbl.AddRow(stack.Name, fcts.Mean(), fcts.Median(), fcts.P99(), fcts.Max(),
 			fcts.HistogramOf(16).Sparkline())
@@ -124,10 +143,16 @@ func Fig13C(cfg Config) *Report {
 	r := &Report{ID: "fig13c", Title: "Inter-DC Allreduce under failures and drops"}
 	iterations := cfg.scaled(8)
 
-	tbl := r.NewTable(fmt.Sprintf("iteration time / ideal, %d iterations", iterations),
-		"scheme", "mean ratio", "p99 ratio", "worst")
-	for _, stack := range rcVariants() {
-		var ratios stats.Sample
+	// One job per stack: the iterations within a stack share one Sim and
+	// must stay serial, but the six stacks are independent.
+	stacks := rcVariants()
+	type allreduceOut struct {
+		ratios []float64
+		digest uint64
+	}
+	outs := RunParallel(cfg.Parallel, len(stacks), func(job int) allreduceOut {
+		stack := stacks[job]
+		var ratios []float64
 		topoCfg := topo.DefaultConfig()
 		sim := MustNewSim(cfg.Seed, topoCfg, stack)
 		perDC := topoCfg.HostsPerDC()
@@ -183,8 +208,19 @@ func Fig13C(cfg Config) *Report {
 			}
 			elapsed := sim.Net.Now() - start
 			ideal := workload.IdealIterationTime(it, cut, interRTT)
-			ratios.Add(float64(elapsed) / float64(ideal))
+			ratios = append(ratios, float64(elapsed)/float64(ideal))
 		}
+		return allreduceOut{ratios: ratios, digest: sim.Digest()}
+	})
+
+	tbl := r.NewTable(fmt.Sprintf("iteration time / ideal, %d iterations", iterations),
+		"scheme", "mean ratio", "p99 ratio", "worst")
+	for si, stack := range stacks {
+		var ratios stats.Sample
+		for _, v := range outs[si].ratios {
+			ratios.Add(v)
+		}
+		r.FoldDigest(outs[si].digest)
 		tbl.AddRow(stack.Name, ratios.Mean(), ratios.P99(), ratios.Max())
 	}
 	r.Note("8 worker pairs, gradient bursts %s-%s per iteration (scaled from the paper's 70-500 MiB)",

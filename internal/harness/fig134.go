@@ -105,48 +105,72 @@ func Fig3(cfg Config) *Report {
 	bin := horizon / 60
 	seeds := []uint64{cfg.Seed, cfg.Seed + 1, cfg.Seed + 2}
 
-	for _, stack := range BaselineStacks() {
+	// One job per (stack, seed): each builds its own Sim and sampler; the
+	// averaging below walks the outputs in job order.
+	stacks := BaselineStacks()
+	type fairnessOut struct {
+		ttf                    eventq.Time
+		jain, ratio, mean, p99 float64
+		missed                 int
+		digest                 uint64
+	}
+	outs := RunParallel(cfg.Parallel, len(stacks)*len(seeds), func(job int) fairnessOut {
+		stack, seed := stacks[job/len(seeds)], seeds[job%len(seeds)]
+		topoCfg := topoForRTTRatio(128)
+		sim := MustNewSim(seed, topoCfg, stack)
+
+		// Destination: host 0 of DC0. Intra sources from distinct
+		// pods of DC0, inter sources from DC1.
+		perDC := topoCfg.HostsPerDC()
+		hpp := perDC / topoCfg.K // hosts per pod
+		var specs []workload.FlowSpec
+		for i := 0; i < 4; i++ {
+			specs = append(specs, workload.FlowSpec{
+				Src: (i+1)*hpp + i, Dst: 0, Size: flowSize, InterDC: false,
+			})
+		}
+		for i := 0; i < 4; i++ {
+			specs = append(specs, workload.FlowSpec{
+				Src: perDC + i*hpp + i, Dst: 0, Size: flowSize, InterDC: true,
+			})
+		}
+		conns := sim.Schedule(specs)
+		rs := sim.SampleRates(conns, bin, horizon)
+		classes := make([]bool, len(specs))
+		for i, sp := range specs {
+			classes[i] = sp.InterDC
+		}
+		rs.SetClasses(classes)
+		sim.Run(horizon)
+
+		all := sim.AllFCTStats(false)
+		return fairnessOut{
+			ttf:    rs.TimeToFairness(0.75, 6),
+			jain:   rs.ContestedJain(),
+			ratio:  rs.ClassRateRatio(),
+			mean:   all.Mean,
+			p99:    all.P99,
+			missed: sim.Pending(),
+			digest: sim.Digest(),
+		}
+	})
+
+	for si, stack := range stacks {
 		var ttfAcc, jainAcc, ratioAcc, meanAcc, p99Acc float64
 		ttfHit := 0
 		missed := 0
-		for _, seed := range seeds {
-			topoCfg := topoForRTTRatio(128)
-			sim := MustNewSim(seed, topoCfg, stack)
-
-			// Destination: host 0 of DC0. Intra sources from distinct
-			// pods of DC0, inter sources from DC1.
-			perDC := topoCfg.HostsPerDC()
-			hpp := perDC / topoCfg.K // hosts per pod
-			var specs []workload.FlowSpec
-			for i := 0; i < 4; i++ {
-				specs = append(specs, workload.FlowSpec{
-					Src: (i+1)*hpp + i, Dst: 0, Size: flowSize, InterDC: false,
-				})
-			}
-			for i := 0; i < 4; i++ {
-				specs = append(specs, workload.FlowSpec{
-					Src: perDC + i*hpp + i, Dst: 0, Size: flowSize, InterDC: true,
-				})
-			}
-			conns := sim.Schedule(specs)
-			rs := sim.SampleRates(conns, bin, horizon)
-			classes := make([]bool, len(specs))
-			for i, sp := range specs {
-				classes[i] = sp.InterDC
-			}
-			rs.SetClasses(classes)
-			sim.Run(horizon)
-
-			if ttf := rs.TimeToFairness(0.75, 6); ttf >= 0 {
-				ttfAcc += ttf.Seconds() * 1e3
+		for sd := range seeds {
+			out := outs[si*len(seeds)+sd]
+			if out.ttf >= 0 {
+				ttfAcc += out.ttf.Seconds() * 1e3
 				ttfHit++
 			}
-			jainAcc += rs.ContestedJain()
-			ratioAcc += rs.ClassRateRatio()
-			all := sim.AllFCTStats(false)
-			meanAcc += all.Mean
-			p99Acc += all.P99
-			missed += sim.Pending()
+			jainAcc += out.jain
+			ratioAcc += out.ratio
+			meanAcc += out.mean
+			p99Acc += out.p99
+			missed += out.missed
+			r.FoldDigest(out.digest)
 		}
 		n := float64(len(seeds))
 		ttfCell := "-"
@@ -242,6 +266,7 @@ func Fig4(cfg Config) *Report {
 			}
 		}
 		tbl.AddRow(name, q.Mean()/1024, q.Max()/1024, rpcFCT.Mean(), rpcFCT.P99())
+		r.FoldDigest(sim.Digest())
 	}
 	r.Note("long flows: 8 × 1GiB inter-DC incast; RPC victims drawn from the Google RPC CDF")
 	return r

@@ -62,6 +62,7 @@ func Fig8(cfg Config) *Report {
 			sim.Run(horizon)
 			all := sim.AllFCTStats(false)
 			fctTbl.AddRow(sc.name, base.Name, all.Mean, all.P99)
+			r.FoldDigest(sim.Digest())
 			if rs != nil {
 				fairTbl.AddRow(sc.name, rs.ContestedJain(), fmtDur(rs.TimeToFairness(0.9, 3)))
 			}
@@ -107,6 +108,7 @@ func Fig9(cfg Config) *Report {
 			sim.Run(horizon)
 			intra, inter := sim.FCTStats(false)
 			tbl.AddRow(prov.name, stack.Name, intra.Mean, intra.P99, inter.Mean, inter.P99)
+			r.FoldDigest(sim.Digest())
 			if sim.Pending() > 0 {
 				r.Note("%s/%s: %d flows missed the horizon", prov.name, stack.Name, sim.Pending())
 			}
@@ -162,17 +164,24 @@ func realisticSpecs(sim *Sim, load float64, window eventq.Time,
 	return specs
 }
 
+// realOut is one realistic-mix run's harvest.
+type realOut struct {
+	intraMean, intraP99, interMean, interP99 float64
+	missed                                   int
+	digest                                   uint64
+}
+
 // runRealistic executes the realistic mix on one stack and reports
 // per-class FCT summaries.
 func runRealistic(cfg Config, topoCfg topo.Config, stack Stack, load float64,
-	slowdown bool) (intraMean, intraP99, interMean, interP99 float64, missed int) {
+	slowdown bool) realOut {
 	sim := MustNewSim(cfg.Seed, topoCfg, stack)
 	window := eventq.Time(cfg.scaled(2)) * eventq.Millisecond
 	specs := realisticSpecs(sim, load, window, cfg.scaled(200), cfg.scaled(30), cfg.Seed+13)
 	sim.Schedule(specs)
 	sim.Run(eventq.Time(cfg.scaled(150)) * eventq.Millisecond)
 	intra, inter := sim.FCTStats(slowdown)
-	return intra.Mean, intra.P99, inter.Mean, inter.P99, sim.Pending()
+	return realOut{intra.Mean, intra.P99, inter.Mean, inter.P99, sim.Pending(), sim.Digest()}
 }
 
 // Fig10 reproduces Figure 10: the realistic mixed workload at 20-60% load.
@@ -180,14 +189,21 @@ func Fig10(cfg Config) *Report {
 	cfg = cfg.withDefaults()
 	r := &Report{ID: "fig10", Title: "Realistic workload (WebSearch intra + Alibaba WAN inter)"}
 	stacks := []Stack{StackUno(), StackUnoECMP(), StackGemini(), StackMPRDMABBR()}
+	loads := []float64{0.2, 0.4, 0.6}
+	outs := RunParallel(cfg.Parallel, len(loads)*len(stacks), func(job int) realOut {
+		return runRealistic(cfg, topo.DefaultConfig(), stacks[job%len(stacks)],
+			loads[job/len(stacks)], false)
+	})
 	tbl := r.NewTable("FCT (µs)", "load", "scheme",
 		"intra mean", "intra p99", "inter mean", "inter p99")
-	for _, load := range []float64{0.2, 0.4, 0.6} {
-		for _, stack := range stacks {
-			im, ip, em, ep, missed := runRealistic(cfg, topo.DefaultConfig(), stack, load, false)
-			tbl.AddRow(fmt.Sprintf("%.0f%%", load*100), stack.Name, im, ip, em, ep)
-			if missed > 0 {
-				r.Note("load %.0f%% %s: %d flows missed the horizon", load*100, stack.Name, missed)
+	for li, load := range loads {
+		for si, stack := range stacks {
+			out := outs[li*len(stacks)+si]
+			tbl.AddRow(fmt.Sprintf("%.0f%%", load*100), stack.Name,
+				out.intraMean, out.intraP99, out.interMean, out.interP99)
+			r.FoldDigest(out.digest)
+			if out.missed > 0 {
+				r.Note("load %.0f%% %s: %d flows missed the horizon", load*100, stack.Name, out.missed)
 			}
 		}
 	}
@@ -200,14 +216,21 @@ func Fig11(cfg Config) *Report {
 	cfg = cfg.withDefaults()
 	r := &Report{ID: "fig11", Title: "FCT slowdown vs inter/intra RTT ratio (40% load)"}
 	stacks := []Stack{StackUno(), StackGemini(), StackMPRDMABBR()}
+	ratios := []float64{8, 32, 128, 512}
+	outs := RunParallel(cfg.Parallel, len(ratios)*len(stacks), func(job int) realOut {
+		return runRealistic(cfg, topoForRTTRatio(ratios[job/len(stacks)]),
+			stacks[job%len(stacks)], 0.4, true)
+	})
 	tbl := r.NewTable("FCT slowdown (vs unloaded ideal)", "RTT ratio", "scheme",
 		"intra mean", "intra p99", "inter mean", "inter p99")
-	for _, ratio := range []float64{8, 32, 128, 512} {
-		for _, stack := range stacks {
-			im, ip, em, ep, missed := runRealistic(cfg, topoForRTTRatio(ratio), stack, 0.4, true)
-			tbl.AddRow(fmt.Sprintf("%.0f×", ratio), stack.Name, im, ip, em, ep)
-			if missed > 0 {
-				r.Note("ratio %.0f %s: %d flows missed the horizon", ratio, stack.Name, missed)
+	for ri, ratio := range ratios {
+		for si, stack := range stacks {
+			out := outs[ri*len(stacks)+si]
+			tbl.AddRow(fmt.Sprintf("%.0f×", ratio), stack.Name,
+				out.intraMean, out.intraP99, out.interMean, out.interP99)
+			r.FoldDigest(out.digest)
+			if out.missed > 0 {
+				r.Note("ratio %.0f %s: %d flows missed the horizon", ratio, stack.Name, out.missed)
 			}
 		}
 	}
@@ -225,11 +248,15 @@ func Fig12(cfg Config) *Report {
 	topoCfg := topo.DefaultConfig()
 	topoCfg.QueueCapIntra = 175 << 10
 	topoCfg.QueueCapInter = 2252 << 10
-	for _, stack := range stacks {
-		im, ip, em, ep, missed := runRealistic(cfg, topoCfg, stack, 0.4, false)
-		tbl.AddRow(stack.Name, im, ip, em, ep)
-		if missed > 0 {
-			r.Note("%s: %d flows missed the horizon", stack.Name, missed)
+	outs := RunParallel(cfg.Parallel, len(stacks), func(job int) realOut {
+		return runRealistic(cfg, topoCfg, stacks[job], 0.4, false)
+	})
+	for si, stack := range stacks {
+		out := outs[si]
+		tbl.AddRow(stack.Name, out.intraMean, out.intraP99, out.interMean, out.interP99)
+		r.FoldDigest(out.digest)
+		if out.missed > 0 {
+			r.Note("%s: %d flows missed the horizon", stack.Name, out.missed)
 		}
 	}
 	return r

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"testing"
+
+	"uno/internal/eventq"
+	"uno/internal/topo"
+)
+
+// smallRun is a cheap but non-trivial full-fabric run: a handful of
+// inter-DC flows on the dual-DC fat-tree with the complete Uno stack
+// (EC blocks, UnoLB subflows, phantom queues), so the digest covers every
+// layer that could go nondeterministic.
+func smallRun(seed uint64) simOut {
+	topoCfg := topo.DefaultConfig()
+	sim := MustNewSim(seed, topoCfg, StackUno())
+	sim.Schedule(interPairSpecs(topoCfg, 4, 256<<10))
+	sim.Run(20 * eventq.Millisecond)
+	return harvest(sim)
+}
+
+// equalOut compares two run harvests field by field.
+func equalOut(a, b simOut) bool {
+	if a.Digest != b.Digest || a.Pending != b.Pending || len(a.Results) != len(b.Results) {
+		return false
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunParallelPreservesJobOrder: outputs land at their job index no
+// matter how many workers race over the queue.
+func TestRunParallelPreservesJobOrder(t *testing.T) {
+	for _, parallel := range []int{0, 1, 3, 8, 100} {
+		out := RunParallel(parallel, 37, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("parallel=%d: out[%d] = %d, want %d", parallel, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunParallelMatchesSerial: the parallel path must produce exactly the
+// merged FlowResult slices and digests of the serial path, job for job.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	seeds := []uint64{11, 12, 13, 14}
+	job := func(i int) simOut { return smallRun(seeds[i]) }
+	serial := RunParallel(1, len(seeds), job)
+	par := RunParallel(4, len(seeds), job)
+	for i := range serial {
+		if !equalOut(serial[i], par[i]) {
+			t.Fatalf("job %d: parallel output differs from serial\nserial: digest %016x, %d results\nparallel: digest %016x, %d results",
+				i, serial[i].Digest, len(serial[i].Results), par[i].Digest, len(par[i].Results))
+		}
+		if len(serial[i].Results) == 0 {
+			t.Fatalf("job %d completed no flows; test is vacuous", i)
+		}
+	}
+}
+
+// TestRunParallelSameSeedIdentical: N concurrent reruns of one seed are
+// bit-identical — the core determinism claim behind the digest layer.
+func TestRunParallelSameSeedIdentical(t *testing.T) {
+	outs := RunParallel(4, 4, func(int) simOut { return smallRun(42) })
+	for i := 1; i < len(outs); i++ {
+		if !equalOut(outs[0], outs[i]) {
+			t.Fatalf("rerun %d of seed 42 differs: digest %016x vs %016x",
+				i, outs[i].Digest, outs[0].Digest)
+		}
+	}
+	if outs[0].Digest == 0 {
+		t.Fatal("digest never folded any event")
+	}
+}
+
+// TestRunParallelDifferentSeedsDiffer: distinct seeds must give distinct
+// fingerprints (otherwise the digest is not actually observing the run).
+func TestRunParallelDifferentSeedsDiffer(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	outs := RunParallel(3, len(seeds), func(i int) simOut { return smallRun(seeds[i]) })
+	for i := 0; i < len(outs); i++ {
+		for j := i + 1; j < len(outs); j++ {
+			if outs[i].Digest == outs[j].Digest {
+				t.Fatalf("seeds %d and %d share digest %016x", seeds[i], seeds[j], outs[i].Digest)
+			}
+		}
+	}
+}
+
+// TestExperimentDigestStableAcrossParallelism: a whole multi-rerun
+// experiment (the scaled-down Fig 13 A grid) must render byte-identically
+// at any Config.Parallel, digest line included.
+func TestExperimentDigestStableAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rerun experiment")
+	}
+	cfg := Config{Scale: 0.1, Seed: 7, Parallel: 1}
+	serial := Fig13A(cfg)
+	cfg.Parallel = 4
+	par := Fig13A(cfg)
+	if serial.Digest == 0 {
+		t.Fatal("fig13a produced no digest")
+	}
+	if serial.Digest != par.Digest {
+		t.Fatalf("fig13a digest differs: parallel=1 %016x, parallel=4 %016x", serial.Digest, par.Digest)
+	}
+	if s, p := serial.String(), par.String(); s != p {
+		t.Fatalf("fig13a report text differs between parallel=1 and parallel=4:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+}

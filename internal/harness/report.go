@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"unicode/utf8"
+
+	"uno/internal/netsim"
 )
 
 // Table is a printable result table.
@@ -117,6 +119,25 @@ type Report struct {
 	Title  string
 	Tables []*Table
 	Notes  []string
+	// Digest is the experiment's determinism fingerprint: the FNV-1a fold,
+	// in job order, of every constituent simulation's run digest. Two
+	// invocations with the same Config must produce the same digest
+	// regardless of Config.Parallel. Zero means the experiment ran no
+	// packet-level simulations (e.g. the analytic fig1).
+	Digest uint64
+
+	ndigests int
+}
+
+// FoldDigest folds one simulation run's fingerprint into the report digest.
+// Callers must fold in a deterministic order (job order, never completion
+// order).
+func (r *Report) FoldDigest(d uint64) {
+	if r.ndigests == 0 {
+		r.Digest = netsim.DigestSeed
+	}
+	r.Digest = netsim.DigestFold(r.Digest, d)
+	r.ndigests++
 }
 
 // NewTable appends and returns a fresh table.
@@ -169,16 +190,24 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, "note: %s\n", n)
 		}
 	}
+	if r.Digest != 0 {
+		fmt.Fprintf(&b, "\ndigest: %016x (%d runs)\n", r.Digest, r.ndigests)
+	}
 	return b.String()
 }
 
-// Config controls experiment scale and seeding.
+// Config controls experiment scale, seeding, and fan-out.
 type Config struct {
 	// Scale stretches the default (quick) experiment toward paper scale:
 	// 1 = quick defaults, larger values add flows/duration/reruns.
 	Scale float64
 	// Seed is the base random seed.
 	Seed uint64
+	// Parallel bounds the number of independent simulation runs executed
+	// concurrently by the multi-rerun experiments (see RunParallel). 0
+	// means GOMAXPROCS; 1 forces serial execution. Results are identical
+	// for every value.
+	Parallel int
 }
 
 // withDefaults normalizes the config.

@@ -45,6 +45,7 @@ type Sim struct {
 	results []FlowResult
 	pending int
 	conns   []*transport.Conn
+	digest  *netsim.DigestObserver
 }
 
 // NewSim builds the simulation. The stack decides whether phantom queues
@@ -63,11 +64,28 @@ func NewSim(seed uint64, topoCfg topo.Config, stack Stack) (*Sim, error) {
 		return nil, err
 	}
 	s := &Sim{Net: net, Topo: tp, MTU: 4096, stack: stack}
+	// Every harness run carries the determinism fingerprint: the observer
+	// folds each fabric event into an FNV-1a hash, so equal seeds must give
+	// equal digests. Chain extra observers behind it via s.Observe.
+	s.digest = netsim.NewDigestObserver(net)
+	net.Observer = s.digest
 	for _, h := range tp.Hosts {
 		s.Eps = append(s.Eps, transport.NewEndpoint(h))
 	}
 	return s, nil
 }
+
+// Digest returns the run's determinism fingerprint: an FNV-1a fold of every
+// packet sent, delivered, and dropped so far. Two runs of the same scenario
+// with the same seed must return the same digest.
+func (s *Sim) Digest() uint64 { return s.digest.Sum() }
+
+// DigestEvents returns the number of fabric events folded into the digest.
+func (s *Sim) DigestEvents() uint64 { return s.digest.Events() }
+
+// Observe chains an additional observer behind the digest observer, so
+// tracing or counting never disables determinism checking.
+func (s *Sim) Observe(o netsim.Observer) { s.digest.Next = o }
 
 // MustNewSim is NewSim for known-good configurations.
 func MustNewSim(seed uint64, topoCfg topo.Config, stack Stack) *Sim {

@@ -1,0 +1,28 @@
+#!/bin/sh
+# ci.sh — the repository's tier-1 gate plus the race detector.
+#
+# Every simulation is a single-goroutine state machine; the only sanctioned
+# concurrency is the harness fan-out layer (harness.RunParallel), so the
+# race detector must stay clean across the whole tree. Run this before
+# sending a PR:
+#
+#   ./scripts/ci.sh
+#
+# or via make: `make ci` (see the Makefile; `make test` is the quicker
+# tier-1-only gate).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "ci: OK"
