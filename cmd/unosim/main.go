@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"uno/internal/harness"
@@ -38,10 +39,41 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "base random seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max concurrent simulation runs (independent reruns only; output is identical for any value)")
-		list = flag.Bool("list", false, "list available experiments")
-		out  = flag.String("out", "", "also write CSV + text artifacts under this directory (like the paper's artifact_results/)")
+		list       = flag.Bool("list", false, "list available experiments")
+		out        = flag.String("out", "", "also write CSV + text artifacts under this directory (like the paper's artifact_results/)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "starting cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "creating mem profile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "writing mem profile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

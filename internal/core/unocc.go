@@ -136,10 +136,10 @@ type UnoCC struct {
 	// ACKed bytes (ACKs only begin one RTT in) and spuriously collapse
 	// the window.
 	qaArmed   bool
-	qaBytes   int64 // bytes ACKed during the current QA window
-	qaSkip    bool  // cool-down: skip the next QA/MD window
-	qaTimer   *eventq.Event
-	mdMutedTo eventq.Time // MD suppressed until this time after a QA fire
+	qaBytes   int64         // bytes ACKed during the current QA window
+	qaSkip    bool          // cool-down: skip the next QA/MD window
+	qaTimer   *eventq.Timer // reusable once-per-RTT tick, bound on first arm
+	mdMutedTo eventq.Time   // MD suppressed until this time after a QA fire
 
 	// Per-RTT MD budget: epochs run at intra-DC granularity while ECN
 	// echoes lag by the flow's own RTT, so unbounded per-epoch cuts
@@ -217,17 +217,21 @@ func (u *UnoCC) rttEstimate(c *transport.Conn) eventq.Time {
 }
 
 // armQA schedules the next once-per-RTT Quick Adapt evaluation (§4.1.2).
+// One Timer serves the flow's whole lifetime; every rearm is allocation-
+// free.
 func (u *UnoCC) armQA(c *transport.Conn) {
 	if c.Completed() {
 		return
 	}
-	u.qaTimer = c.Scheduler().After(u.rttEstimate(c), func() {
-		u.qaTimer = nil
-		u.onQA(c)
-		if !u.cfg.DisableQA {
-			u.armQA(c)
-		}
-	})
+	if u.qaTimer == nil {
+		u.qaTimer = c.Scheduler().NewTimer(func() {
+			u.onQA(c)
+			if !u.cfg.DisableQA {
+				u.armQA(c)
+			}
+		})
+	}
+	u.qaTimer.ResetAfter(u.rttEstimate(c))
 }
 
 // onQA is procedure ONQA of Algorithm 1.

@@ -1,0 +1,84 @@
+package eventq
+
+import "testing"
+
+// The allocation-budget tests below are the eventq half of the PR-2
+// performance contract: steady-state scheduling must not allocate. They use
+// testing.AllocsPerRun, so they fail loudly if someone reintroduces a
+// per-event allocation (closure capture, interface boxing, heap churn).
+
+// TestTimerResetAllocFree: after creation, a Timer's whole rearm/fire cycle
+// allocates nothing.
+func TestTimerResetAllocFree(t *testing.T) {
+	s := New()
+	fired := 0
+	timer := s.NewTimer(func() { fired++ })
+	// Warm the heap slice.
+	timer.ResetAfter(1)
+	s.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		timer.ResetAfter(3)
+		timer.Reset(s.Now() + 5) // rearm while pending: remove + reinsert
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("Timer reset/fire cycle allocates %v objects per run, want 0", allocs)
+	}
+	if fired < 1000 {
+		t.Fatalf("timer only fired %d times", fired)
+	}
+}
+
+// TestScheduleArgAllocFree: fire-and-forget scheduling with a pre-bound
+// callback recycles its events, so a schedule→pop cycle is allocation-free
+// once the free list is warm.
+func TestScheduleArgAllocFree(t *testing.T) {
+	s := New()
+	var got []any
+	sink := func(x any) { got = append(got, x) }
+	payload := &struct{ n int }{42} // pointer payloads box into `any` without allocating
+
+	// Warm-up: populate the free list and the result slice capacity.
+	for i := 0; i < 64; i++ {
+		s.AfterArg(1, sink, payload)
+	}
+	s.Run()
+	got = got[:0]
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.AfterArg(2, sink, payload)
+		s.AfterArg(1, sink, payload)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("ScheduleArg cycle allocates %v objects per run, want 0", allocs)
+	}
+	if len(got) < 2000 { // AllocsPerRun adds one warm-up call
+		t.Fatalf("callbacks ran %d times, want ≥2000", len(got))
+	}
+	if s.FreeEvents() == 0 {
+		t.Fatal("free list empty after recycled events were popped")
+	}
+}
+
+// TestScheduleHandleNotRecycled: events with an outstanding cancel handle
+// must never enter the free list — recycling them would let a stale handle
+// cancel an unrelated future event.
+func TestScheduleHandleNotRecycled(t *testing.T) {
+	s := New()
+	e := s.Schedule(1, func() {})
+	s.Run()
+	if got := s.FreeEvents(); got != 0 {
+		t.Fatalf("handle-bearing event was recycled (free list %d)", got)
+	}
+	// The stale handle stays inert: cancelling after the fact must not
+	// perturb a newly scheduled event.
+	e.Cancel()
+	ran := false
+	s.Schedule(s.Now()+1, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("stale handle cancel leaked into a fresh event")
+	}
+}

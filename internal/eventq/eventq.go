@@ -7,12 +7,24 @@
 // Simulated time is measured in integer picoseconds so that packet
 // serialization times on the link speeds used by the paper are exact
 // (a 4096 B MTU at 100 Gb/s serializes in exactly 327,680 ps).
+//
+// The engine is built for a near-zero-allocation steady state. The priority
+// queue is a hand-specialized 4-ary min-heap over *Event — no container/heap
+// interface dispatch, no `any` boxing on push/pop. Three scheduling flavors
+// trade convenience against allocation:
+//
+//   - Schedule/After return a cancel handle; the Event is never reused, so
+//     a retained handle can never observe an unrelated reincarnation.
+//   - ScheduleArg/AfterArg take a pre-bound func(any) plus its argument and
+//     return no handle; the Event comes from and returns to the scheduler's
+//     free list, so steady-state cost is zero allocations.
+//   - Timer binds a callback once at NewTimer and owns its Event for life;
+//     Reset and Cancel move it in and out of the heap in place, making
+//     recurring timers (pacing, RTO, epochs, transmit completion)
+//     allocation-free after setup.
 package eventq
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is an absolute simulated time in picoseconds.
 type Time int64
@@ -65,12 +77,23 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // Event is a scheduled callback. A non-nil Event returned by Schedule can be
 // cancelled; cancelled events stay in the heap but are skipped when popped.
+// Events created by ScheduleArg or owned by a Timer are internal: they are
+// recycled (or reused in place) and never escape as handles.
 type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
+	at  Time
+	seq uint64
+
+	// Exactly one of fn/argfn is set. argfn+arg is the closure-free form:
+	// the callback is bound once (e.g. a link's delivery method) and the
+	// per-schedule payload rides in arg, so no closure is allocated per
+	// packet.
+	fn    func()
+	argfn func(any)
+	arg   any
+
+	index     int32 // position in the heap, -1 when not queued
 	cancelled bool
-	index     int // position in the heap, -1 once popped
+	recycle   bool // return to the free list after popping (no handle exists)
 }
 
 // At returns the time the event is scheduled for.
@@ -83,33 +106,12 @@ func (e *Event) Cancel() { e.cancelled = true }
 // Cancelled reports whether Cancel was called.
 func (e *Event) Cancelled() bool { return e.cancelled }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (time, insertion sequence).
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Scheduler is the event loop. The zero value is ready to use at time 0.
@@ -118,10 +120,11 @@ func (h *eventHeap) Pop() any {
 // simulations concurrently, e.g. the 100 reruns of Fig 13A).
 type Scheduler struct {
 	now      Time
-	heap     eventHeap
+	heap     []*Event // 4-ary min-heap ordered by eventLess
 	seq      uint64
 	executed uint64
 	stopped  bool
+	free     []*Event // recycled fire-and-forget events
 }
 
 // New returns a scheduler positioned at time 0.
@@ -138,16 +141,142 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 // cancelled-but-unpopped ones.
 func (s *Scheduler) Pending() int { return len(s.heap) }
 
-// Schedule runs fn at absolute time at. Scheduling in the past panics:
-// it always indicates a simulator bug, and silently reordering time would
-// corrupt every protocol's RTT estimates.
-func (s *Scheduler) Schedule(at Time, fn func()) *Event {
+// FreeEvents returns the current size of the event free list (telemetry for
+// the allocation-budget tests).
+func (s *Scheduler) FreeEvents() int { return len(s.free) }
+
+// ---- 4-ary heap primitives ----
+//
+// A 4-ary layout halves the tree depth of a binary heap: pops do a few more
+// comparisons per level but far fewer cache-missing levels, which wins for
+// the event mixes simulations produce (mostly near-future pushes).
+
+// siftUp places e at index i, bubbling it toward the root.
+func (s *Scheduler) siftUp(i int, e *Event) {
+	for i > 0 {
+		parent := (i - 1) >> 2
+		pe := s.heap[parent]
+		if !eventLess(e, pe) {
+			break
+		}
+		s.heap[i] = pe
+		pe.index = int32(i)
+		i = parent
+	}
+	s.heap[i] = e
+	e.index = int32(i)
+}
+
+// siftDown places e at index i, sinking it below smaller children.
+func (s *Scheduler) siftDown(i int, e *Event) {
+	n := len(s.heap)
+	for {
+		child := i<<2 + 1
+		if child >= n {
+			break
+		}
+		min := child
+		me := s.heap[child]
+		end := child + 4
+		if end > n {
+			end = n
+		}
+		for j := child + 1; j < end; j++ {
+			if ce := s.heap[j]; eventLess(ce, me) {
+				min, me = j, ce
+			}
+		}
+		if !eventLess(me, e) {
+			break
+		}
+		s.heap[i] = me
+		me.index = int32(i)
+		i = min
+	}
+	s.heap[i] = e
+	e.index = int32(i)
+}
+
+// push inserts e into the heap.
+func (s *Scheduler) push(e *Event) {
+	s.heap = append(s.heap, e)
+	s.siftUp(len(s.heap)-1, e)
+}
+
+// popMin removes and returns the earliest event. The heap must be non-empty.
+func (s *Scheduler) popMin() *Event {
+	e := s.heap[0]
+	n := len(s.heap) - 1
+	last := s.heap[n]
+	s.heap[n] = nil
+	s.heap = s.heap[:n]
+	if n > 0 {
+		s.siftDown(0, last)
+	}
+	e.index = -1
+	return e
+}
+
+// remove deletes e from an arbitrary heap position (Timer rescheduling).
+func (s *Scheduler) remove(e *Event) {
+	i := int(e.index)
+	if i < 0 {
+		return
+	}
+	n := len(s.heap) - 1
+	last := s.heap[n]
+	s.heap[n] = nil
+	s.heap = s.heap[:n]
+	if i < n {
+		s.siftDown(i, last)
+		if int(last.index) == i {
+			s.siftUp(i, last)
+		}
+	}
+	e.index = -1
+}
+
+// ---- event allocation ----
+
+// alloc returns a reset Event from the free list, or a fresh one.
+func (s *Scheduler) alloc() *Event {
+	if k := len(s.free) - 1; k >= 0 {
+		e := s.free[k]
+		s.free[k] = nil
+		s.free = s.free[:k]
+		return e
+	}
+	return &Event{index: -1}
+}
+
+// recycleEvent resets e and returns it to the free list. Only events without
+// an outstanding handle may be recycled.
+func (s *Scheduler) recycleEvent(e *Event) {
+	*e = Event{index: -1}
+	s.free = append(s.free, e)
+}
+
+// ---- scheduling ----
+
+// checkTime panics on scheduling in the past: it always indicates a
+// simulator bug, and silently reordering time would corrupt every
+// protocol's RTT estimates.
+func (s *Scheduler) checkTime(at Time) {
 	if at < s.now {
 		panic(fmt.Sprintf("eventq: schedule at %v before now %v", at, s.now))
 	}
-	e := &Event{at: at, seq: s.seq, fn: fn}
+}
+
+// Schedule runs fn at absolute time at and returns a cancel handle. The
+// returned Event is never recycled, so holding the handle across its firing
+// is always safe. Hot paths that do not need a handle should use
+// ScheduleArg or a Timer instead — both are allocation-free in steady state.
+func (s *Scheduler) Schedule(at Time, fn func()) *Event {
+	s.checkTime(at)
+	e := s.alloc()
+	e.at, e.seq, e.fn = at, s.seq, fn
 	s.seq++
-	heap.Push(&s.heap, e)
+	s.push(e)
 	return e
 }
 
@@ -159,9 +288,50 @@ func (s *Scheduler) After(d Time, fn func()) *Event {
 	return s.Schedule(s.now+d, fn)
 }
 
+// ScheduleArg runs fn(arg) at absolute time at, fire-and-forget. No handle
+// is returned, so the engine recycles the Event on pop: callers that bind fn
+// once (a stored method value, not a per-call closure) pay zero allocations
+// per schedule in steady state.
+func (s *Scheduler) ScheduleArg(at Time, fn func(any), arg any) {
+	s.checkTime(at)
+	e := s.alloc()
+	e.at, e.seq, e.argfn, e.arg, e.recycle = at, s.seq, fn, arg, true
+	s.seq++
+	s.push(e)
+}
+
+// AfterArg runs fn(arg) after delay d, fire-and-forget (see ScheduleArg).
+func (s *Scheduler) AfterArg(d Time, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("eventq: negative delay %v", d))
+	}
+	s.ScheduleArg(s.now+d, fn, arg)
+}
+
 // Stop makes the currently executing Run return after the current event's
 // callback completes.
 func (s *Scheduler) Stop() { s.stopped = true }
+
+// runEvent advances the clock to e and executes its callback. Recyclable
+// events return to the free list *before* the callback runs, so a
+// steady-state chain (fire → reschedule) reuses a single Event object.
+func (s *Scheduler) runEvent(e *Event) {
+	s.now = e.at
+	s.executed++
+	if e.argfn != nil {
+		fn, arg := e.argfn, e.arg
+		if e.recycle {
+			s.recycleEvent(e)
+		}
+		fn(arg)
+		return
+	}
+	fn := e.fn
+	if e.recycle {
+		s.recycleEvent(e)
+	}
+	fn()
+}
 
 // RunUntil executes events in order until the queue is empty or the next
 // event is strictly after the deadline. On return, Now() is
@@ -174,13 +344,11 @@ func (s *Scheduler) RunUntil(deadline Time) {
 		if next.at > deadline {
 			break
 		}
-		heap.Pop(&s.heap)
+		s.popMin()
 		if next.cancelled {
 			continue
 		}
-		s.now = next.at
-		s.executed++
-		next.fn()
+		s.runEvent(next)
 	}
 	if s.now < deadline {
 		s.now = deadline
@@ -191,13 +359,11 @@ func (s *Scheduler) RunUntil(deadline Time) {
 func (s *Scheduler) Run() {
 	s.stopped = false
 	for len(s.heap) > 0 && !s.stopped {
-		next := heap.Pop(&s.heap).(*Event)
+		next := s.popMin()
 		if next.cancelled {
 			continue
 		}
-		s.now = next.at
-		s.executed++
-		next.fn()
+		s.runEvent(next)
 	}
 }
 
@@ -205,14 +371,77 @@ func (s *Scheduler) Run() {
 // available.
 func (s *Scheduler) Step() bool {
 	for len(s.heap) > 0 {
-		next := heap.Pop(&s.heap).(*Event)
+		next := s.popMin()
 		if next.cancelled {
 			continue
 		}
-		s.now = next.at
-		s.executed++
-		next.fn()
+		s.runEvent(next)
 		return true
 	}
 	return false
 }
+
+// ---- reusable timers ----
+
+// Timer is a rearmable scheduled callback that allocates only at creation:
+// NewTimer binds the callback once, and Reset/Cancel then move the timer's
+// embedded Event in and out of the heap in place. It is the intended tool
+// for every recurring per-component timer (port transmit completion, pacer
+// wakeups, RTOs, congestion-control epochs).
+//
+// A Timer is single-owner, like the rest of a simulation: Reset while
+// pending reschedules (the old firing is removed from the heap, never
+// lazily skipped), and the callback finds the timer non-pending when it
+// runs, so it may Reset itself to build a periodic tick.
+type Timer struct {
+	s *Scheduler
+	e Event // intrusive: &t.e lives directly in the heap
+}
+
+// NewTimer binds fn to a new reusable timer. The timer starts idle; arm it
+// with Reset or ResetAfter.
+func (s *Scheduler) NewTimer(fn func()) *Timer {
+	t := &Timer{s: s}
+	t.e.fn = fn
+	t.e.index = -1
+	return t
+}
+
+// Reset (re)schedules the timer to fire at absolute time at. If the timer
+// is pending, the previous firing is replaced. The firing order among
+// same-time events follows reset order, exactly as if the callback had been
+// freshly Scheduled.
+func (t *Timer) Reset(at Time) {
+	t.s.checkTime(at)
+	if t.e.index >= 0 {
+		t.s.remove(&t.e)
+	}
+	t.e.at = at
+	t.e.seq = t.s.seq
+	t.s.seq++
+	t.s.push(&t.e)
+}
+
+// ResetAfter (re)schedules the timer to fire after delay d.
+func (t *Timer) ResetAfter(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("eventq: negative delay %v", d))
+	}
+	t.Reset(t.s.now + d)
+}
+
+// Cancel disarms the timer if pending: the event is removed from the heap
+// immediately (no lazy skip), so a Cancel followed by a Reset can never
+// resurrect the cancelled firing. Cancelling an idle timer is a no-op.
+func (t *Timer) Cancel() {
+	if t.e.index >= 0 {
+		t.s.remove(&t.e)
+	}
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.e.index >= 0 }
+
+// At returns the time of the pending firing (meaningful only while
+// Pending).
+func (t *Timer) At() Time { return t.e.at }

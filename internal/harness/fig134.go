@@ -248,14 +248,14 @@ func Fig4(cfg Config) *Report {
 		edge := sim.Topo.DCs[coord.DC].Edges[coord.Pod][coord.Edge]
 		port := edge.Port(coord.Idx)
 		var q stats.Sample
-		var sample func()
-		sample = func() {
+		var sample *eventq.Timer
+		sample = sim.Net.Sched.NewTimer(func() {
 			q.Add(float64(port.QueuedBytes()))
 			if sim.Net.Now() < horizon {
-				sim.Net.Sched.After(20*eventq.Microsecond, sample)
+				sample.ResetAfter(20 * eventq.Microsecond)
 			}
-		}
-		sim.Net.Sched.Schedule(measureFrom, sample)
+		})
+		sample.Reset(measureFrom)
 
 		sim.Net.Sched.RunUntil(horizon)
 

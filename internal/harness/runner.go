@@ -297,8 +297,8 @@ func (s *Sim) SampleRates(conns []*transport.Conn, interval, stop eventq.Time) *
 	for range conns {
 		rs.Series = append(rs.Series, stats.NewTimeSeries(0, interval, bins))
 	}
-	var tick func()
-	tick = func() {
+	var timer *eventq.Timer
+	timer = s.Net.Sched.NewTimer(func() {
 		now := s.Net.Now()
 		bin := int((now - 1) / interval)
 		for i := range rs.conns {
@@ -315,10 +315,10 @@ func (s *Sim) SampleRates(conns []*transport.Conn, interval, stop eventq.Time) *
 			}
 		}
 		if now < stop {
-			s.Net.Sched.After(interval, tick)
+			timer.ResetAfter(interval)
 		}
-	}
-	s.Net.Sched.Schedule(interval, tick)
+	})
+	timer.Reset(interval)
 	return rs
 }
 

@@ -3,7 +3,10 @@ package netsim
 import "uno/internal/eventq"
 
 // PacketHandler receives packets terminating at a host. The transport layer
-// registers one per host and demultiplexes by flow.
+// registers one per host and demultiplexes by flow. Delivery is a terminal
+// point of packet ownership: once the handler returns, the host recycles
+// pooled packets, so handlers must not retain p (or p.Missing) beyond the
+// callback.
 type PacketHandler func(p *Packet)
 
 // Host is an end node with a single NIC toward its edge switch. The NIC
@@ -70,10 +73,12 @@ func (h *Host) Send(p *Packet) {
 	h.nic.Enqueue(p)
 }
 
-// HandlePacket implements Node: deliver to the transport layer.
+// HandlePacket implements Node: deliver to the transport layer, then
+// recycle the packet — delivery is the end of a packet's life.
 func (h *Host) HandlePacket(p *Packet) {
 	h.Received++
 	if h.handler != nil {
 		h.handler(p)
 	}
+	h.net.FreePacket(p)
 }

@@ -34,6 +34,10 @@ type Link struct {
 	up   bool
 	loss LossProcess
 
+	// arriveFn is l.arrive bound once at construction, so per-packet
+	// delivery scheduling allocates neither an event nor a closure.
+	arriveFn func(any)
+
 	stats LinkStats
 }
 
@@ -42,7 +46,9 @@ func newLink(net *Network, to Node, bandwidth int64, delay eventq.Time, name str
 	if bandwidth <= 0 || delay < 0 {
 		panic("netsim: invalid link parameters")
 	}
-	return &Link{net: net, Bandwidth: bandwidth, Delay: delay, Name: name, to: to, up: true}
+	l := &Link{net: net, Bandwidth: bandwidth, Delay: delay, Name: name, to: to, up: true}
+	l.arriveFn = l.arrive
+	return l
 }
 
 // To returns the downstream node.
@@ -68,6 +74,7 @@ func (l *Link) deliver(p *Packet) {
 		if l.net.Observer != nil {
 			l.net.Observer.PacketDropped(l.Name, DropLink, p)
 		}
+		l.net.FreePacket(p)
 		return
 	}
 	if l.loss != nil && l.loss.Drop(l.net.Now(), p) {
@@ -75,14 +82,21 @@ func (l *Link) deliver(p *Packet) {
 		if l.net.Observer != nil {
 			l.net.Observer.PacketDropped(l.Name, DropLoss, p)
 		}
+		l.net.FreePacket(p)
 		return
 	}
 	l.stats.Delivered++
 	l.stats.Bytes += uint64(p.Size)
-	l.net.Sched.After(l.Delay, func() {
-		if l.net.Observer != nil {
-			l.net.Observer.PacketDelivered(l, p)
-		}
-		l.to.HandlePacket(p)
-	})
+	l.net.Sched.AfterArg(l.Delay, l.arriveFn, p)
+}
+
+// arrive fires one propagation delay after deliver: the packet reaches the
+// downstream node. Pre-bound as arriveFn so scheduling it is allocation-
+// free (the packet pointer rides in the event's arg slot).
+func (l *Link) arrive(x any) {
+	p := x.(*Packet)
+	if l.net.Observer != nil {
+		l.net.Observer.PacketDelivered(l, p)
+	}
+	l.to.HandlePacket(p)
 }

@@ -17,6 +17,10 @@ type Network struct {
 	nodes  []Node
 	nextID uint64 // packet ID counter
 
+	// pool is the packet free list. A simulation is a single-goroutine
+	// state machine, so a plain slice suffices — no sync.Pool, no locks.
+	pool []*Packet
+
 	// LoopPanic controls what happens when a packet exceeds maxHops:
 	// true (default in tests) panics, false silently drops and counts.
 	LoopPanic bool
@@ -58,6 +62,47 @@ func (n *Network) NextPacketID() uint64 {
 	return n.nextID
 }
 
+// AllocPacket returns a zeroed packet, reusing one from the network's free
+// list when possible. Packets handed out here are recycled by FreePacket at
+// the fabric's terminal points (drop or delivery), so steady-state
+// simulation allocates no packets at all. The returned packet is
+// indistinguishable from &Packet{} except that the Missing slice may carry
+// reusable capacity (always length zero).
+func (n *Network) AllocPacket() *Packet {
+	if k := len(n.pool) - 1; k >= 0 {
+		p := n.pool[k]
+		n.pool[k] = nil
+		n.pool = n.pool[:k]
+		p.pooled = true
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// FreePacket returns p to the free list. It is a no-op for nil packets, for
+// packets not obtained from AllocPacket, and for double frees (freeing
+// clears the pooled mark until the next AllocPacket). The reset assigns a
+// whole zero Packet value — every field, present and future, is cleared by
+// construction — keeping only the Missing backing array (truncated to
+// length zero) so NACK buffers are reused too.
+//
+// Ownership rule: the component holding a packet when it reaches a terminal
+// point (the fabric on drops, the Host on delivery, after the handler
+// returns) frees it. Handlers and observers must not retain packets beyond
+// their callback.
+func (n *Network) FreePacket(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	missing := p.Missing[:0]
+	*p = Packet{Missing: missing}
+	n.pool = append(n.pool, p)
+}
+
+// PooledPackets returns the current free-list size (telemetry for the
+// allocation-budget tests).
+func (n *Network) PooledPackets() int { return len(n.pool) }
+
 // countHop increments p's hop count and reports whether the packet may keep
 // forwarding. Beyond maxHops it either panics (LoopPanic) or counts a drop.
 func (n *Network) countHop(p *Packet) bool {
@@ -73,6 +118,7 @@ func (n *Network) countHop(p *Packet) bool {
 	if n.Observer != nil {
 		n.Observer.PacketDropped("fabric", DropLoop, p)
 	}
+	n.FreePacket(p)
 	return false
 }
 

@@ -111,6 +111,12 @@ type Packet struct {
 
 	// hops counts traversed links, used to catch routing loops.
 	hops int
+
+	// pooled marks packets obtained from Network.AllocPacket. Only pooled
+	// packets are recycled by FreePacket; packets built with struct
+	// literals (tests, external injectors) pass through the fabric's
+	// terminal points untouched.
+	pooled bool
 }
 
 // Node is anything that can terminate or forward packets.

@@ -1,5 +1,7 @@
 package netsim
 
+import "uno/internal/eventq"
+
 // PortConfig parameterizes one output port's queue.
 type PortConfig struct {
 	// QueueCap is the physical queue capacity in bytes (paper default:
@@ -71,12 +73,20 @@ type Port struct {
 	busy        bool
 	qcnCount    uint64
 
+	// Transmit-completion machinery: one reusable timer bound to onTxDone
+	// at construction and the packet currently being serialized. Together
+	// they replace the per-packet closure the port used to allocate for
+	// every transmission.
+	txTimer *eventq.Timer
+	txPkt   *Packet
+
 	// Per-class DRR state (ClassWeights mode).
-	classQ     [][]*Packet
-	classHead  []int
-	classBytes []int64
-	deficit    []int64
-	rrNext     int
+	classQ      [][]*Packet
+	classHead   []int
+	classBytes  []int64
+	deficit     []int64
+	rrNext      int
+	totalWeight int // sum of cfg.ClassWeights, precomputed once
 
 	stats PortStats
 }
@@ -97,11 +107,15 @@ func newPort(net *Network, owner Node, link *Link, cfg PortConfig) *Port {
 		}
 	}
 	p := &Port{net: net, owner: owner, cfg: cfg, link: link}
+	p.txTimer = net.Sched.NewTimer(p.onTxDone)
 	if n := len(cfg.ClassWeights); n > 0 {
 		p.classQ = make([][]*Packet, n)
 		p.classHead = make([]int, n)
 		p.classBytes = make([]int64, n)
 		p.deficit = make([]int64, n)
+		for _, w := range cfg.ClassWeights {
+			p.totalWeight += w
+		}
 	}
 	return p
 }
@@ -172,6 +186,7 @@ func (p *Port) Enqueue(pkt *Packet) {
 			if p.net.Observer != nil {
 				p.net.Observer.PacketDropped(p.owner.Name()+" port", DropTail, pkt)
 			}
+			p.net.FreePacket(pkt)
 			return
 		}
 	}
@@ -226,29 +241,25 @@ func (p *Port) sendCnm(pkt *Packet) {
 	if over > 1 {
 		over = 1
 	}
-	cnm := &Packet{
-		ID:       p.net.NextPacketID(),
-		Type:     Cnm,
-		Flow:     pkt.Flow,
-		Src:      p.owner.ID(),
-		Dst:      pkt.Src,
-		Size:     AckSize,
-		Entropy:  p.net.Rand.Uint32(),
-		Feedback: over,
-	}
+	cnm := p.net.AllocPacket()
+	cnm.ID = p.net.NextPacketID()
+	cnm.Type = Cnm
+	cnm.Flow = pkt.Flow
+	cnm.Src = p.owner.ID()
+	cnm.Dst = pkt.Src
+	cnm.Size = AckSize
+	cnm.Entropy = p.net.Rand.Uint32()
+	cnm.Feedback = over
 	p.stats.CnmsSent++
 	// The notification is injected at this switch and routed back to the
 	// source like any other packet.
 	p.owner.HandlePacket(cnm)
 }
 
-// weightShare returns class c's fraction of the total weight.
+// weightShare returns class c's fraction of the total weight (precomputed
+// in newPort; recomputing the sum here used to cost a loop per enqueue).
 func (p *Port) weightShare(c int) float64 {
-	total := 0
-	for _, w := range p.cfg.ClassWeights {
-		total += w
-	}
-	return float64(p.cfg.ClassWeights[c]) / float64(total)
+	return float64(p.cfg.ClassWeights[c]) / float64(p.totalWeight)
 }
 
 // popNext removes and returns the next packet to transmit, or nil.
@@ -326,10 +337,16 @@ func (p *Port) kick() {
 	}
 	p.queuedBytes -= int64(pkt.Size)
 	p.busy = true
-	tx := SerializationTime(pkt.Size, p.link.Bandwidth)
-	p.net.Sched.After(tx, func() {
-		p.busy = false
-		p.link.deliver(pkt)
-		p.kick()
-	})
+	p.txPkt = pkt
+	p.txTimer.ResetAfter(SerializationTime(pkt.Size, p.link.Bandwidth))
+}
+
+// onTxDone fires when the current packet's serialization completes: hand it
+// to the link and start on the next queued packet.
+func (p *Port) onTxDone() {
+	pkt := p.txPkt
+	p.txPkt = nil
+	p.busy = false
+	p.link.deliver(pkt)
+	p.kick()
 }

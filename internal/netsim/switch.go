@@ -79,6 +79,7 @@ func (s *Switch) HandlePacket(p *Packet) {
 		if s.net.Observer != nil {
 			s.net.Observer.PacketDropped(s.name, DropRoute, p)
 		}
+		s.net.FreePacket(p)
 		return
 	}
 	s.ports[idx].Enqueue(p)

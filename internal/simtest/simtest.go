@@ -177,8 +177,8 @@ func NewRateSampler(sched *eventq.Scheduler, conns []*transport.Conn,
 	for range conns {
 		rs.Series = append(rs.Series, stats.NewTimeSeries(start, interval, bins))
 	}
-	var tick func()
-	tick = func() {
+	var timer *eventq.Timer
+	timer = sched.NewTimer(func() {
 		now := sched.Now()
 		for i, c := range rs.conns {
 			if c == nil {
@@ -189,10 +189,10 @@ func NewRateSampler(sched *eventq.Scheduler, conns []*transport.Conn,
 			rs.last[i] = acked
 		}
 		if now < stop {
-			sched.After(interval, tick)
+			timer.ResetAfter(interval)
 		}
-	}
-	sched.Schedule(start+interval, tick)
+	})
+	timer.Reset(start + interval)
 	return rs
 }
 

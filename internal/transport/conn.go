@@ -56,14 +56,15 @@ type Conn struct {
 	pacing   float64 // pacing rate in bits/s; 0 disables pacing
 
 	nextSendAt eventq.Time
-	sendEvent  *eventq.Event
+	sendTimer  *eventq.Timer // pacer wakeup, bound once to trySend
 
 	srtt, rttvar eventq.Time
 	hasRTT       bool
 
 	// Lazy TCP-style retransmission timer: armed at lastProgress+rto and
-	// re-checked on expiry, so per-ACK work is O(1).
-	rtoTimer     *eventq.Event
+	// re-checked on expiry, so per-ACK work is O(1). A reusable Timer: the
+	// callback is bound once and every (re)arming is allocation-free.
+	rtoTimer     *eventq.Timer
 	rtoBackoff   uint
 	lastProgress eventq.Time
 
@@ -106,6 +107,9 @@ func newConn(ep *Endpoint, flow *Flow, params Params, cc CongestionControl, lb P
 	if c.cwnd <= 0 {
 		c.cwnd = float64(params.MTU + HeaderSize)
 	}
+	sch := ep.host.Network().Sched
+	c.sendTimer = sch.NewTimer(c.trySend)
+	c.rtoTimer = sch.NewTimer(c.onRTO)
 	return c
 }
 
@@ -244,37 +248,30 @@ func (c *Conn) trySend() {
 
 // armSendEvent schedules a pacer wakeup at time at.
 func (c *Conn) armSendEvent(at eventq.Time) {
-	if c.sendEvent != nil && !c.sendEvent.Cancelled() {
-		if c.sendEvent.At() <= at {
-			return
-		}
-		c.sendEvent.Cancel()
+	if c.sendTimer.Pending() && c.sendTimer.At() <= at {
+		return
 	}
-	c.sendEvent = c.Scheduler().Schedule(at, func() {
-		c.sendEvent = nil
-		c.trySend()
-	})
+	c.sendTimer.Reset(at)
 }
 
 // transmit puts schedule entry seq on the wire.
 func (c *Conn) transmit(seq int64) {
 	d := &c.sched[seq]
 	st := &c.state[seq]
-	p := &netsim.Packet{
-		Type:       netsim.Data,
-		Flow:       c.flow.ID,
-		Src:        c.flow.Src.ID(),
-		Dst:        c.flow.Dst.ID(),
-		Size:       d.wire,
-		Seq:        seq,
-		ECNCapable: true,
-		SentAt:     c.Now(),
-		IsRtx:      st.sent,
-		Block:      d.block,
-		BlockIdx:   d.blockIdx,
-		IsParity:   d.parity,
-		Subflow:    -1,
-	}
+	p := c.ep.host.Network().AllocPacket()
+	p.Type = netsim.Data
+	p.Flow = c.flow.ID
+	p.Src = c.flow.Src.ID()
+	p.Dst = c.flow.Dst.ID()
+	p.Size = d.wire
+	p.Seq = seq
+	p.ECNCapable = true
+	p.SentAt = c.Now()
+	p.IsRtx = st.sent
+	p.Block = d.block
+	p.BlockIdx = d.blockIdx
+	p.IsParity = d.parity
+	p.Subflow = -1
 	if c.flow.InterDC {
 		p.Class = 1 // class-queue ports separate WAN from local traffic
 	}
@@ -326,17 +323,14 @@ func (c *Conn) rto() eventq.Time {
 
 // armRTO schedules the lazy retransmission timer if none is pending.
 func (c *Conn) armRTO() {
-	if c.completed || c.rtoTimer != nil {
+	if c.completed || c.rtoTimer.Pending() {
 		return
 	}
 	at := c.lastProgress + c.rto()
 	if at < c.Now() {
 		at = c.Now()
 	}
-	c.rtoTimer = c.Scheduler().Schedule(at, func() {
-		c.rtoTimer = nil
-		c.onRTO()
-	})
+	c.rtoTimer.Reset(at)
 }
 
 // onRTO fires when the lazy timer expires. If real progress happened in
@@ -672,14 +666,8 @@ func (c *Conn) finish(now eventq.Time) {
 	}
 	c.completed = true
 	c.fct = now - c.flow.Start
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
-	if c.sendEvent != nil {
-		c.sendEvent.Cancel()
-		c.sendEvent = nil
-	}
+	c.rtoTimer.Cancel()
+	c.sendTimer.Cancel()
 	if c.onDone != nil {
 		c.onDone(c)
 	}

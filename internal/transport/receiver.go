@@ -11,9 +11,14 @@ type rcvBlock struct {
 	dataCount int16
 	count     int16
 	complete  bool
-	timer     *eventq.Event
-	nacks     int
+	// timer is the block's NACK timer, created lazily on first arming and
+	// reused (rearmed in place) across NACK retries.
+	timer *eventq.Timer
+	nacks int
 }
+
+// timerPending reports whether the block's NACK timer is armed.
+func (b *rcvBlock) timerPending() bool { return b.timer != nil && b.timer.Pending() }
 
 // Receiver is the receive side of one flow: it tracks which schedule
 // entries arrived, detects block completion for erasure-coded flows, arms
@@ -92,21 +97,20 @@ func (r *Receiver) handleData(p *netsim.Packet) {
 		// The payload was cut at an overflowing queue: echo an immediate
 		// loss notification instead of recording a delivery (NDP-style).
 		r.TrimmedPkts++
-		ack := &netsim.Packet{
-			Type:        netsim.Ack,
-			Flow:        r.flow.ID,
-			Src:         r.flow.Dst.ID(),
-			Dst:         r.flow.Src.ID(),
-			Size:        netsim.AckSize,
-			Entropy:     r.ep.host.Network().Rand.Uint32(),
-			AckSeq:      seq,
-			EchoSentAt:  p.SentAt,
-			EchoRtx:     p.IsRtx,
-			EchoTrimmed: true,
-			AckBlock:    -1,
-			FlowDone:    r.complete,
-			Subflow:     p.Subflow,
-		}
+		ack := r.ep.host.Network().AllocPacket()
+		ack.Type = netsim.Ack
+		ack.Flow = r.flow.ID
+		ack.Src = r.flow.Dst.ID()
+		ack.Dst = r.flow.Src.ID()
+		ack.Size = netsim.AckSize
+		ack.Entropy = r.ep.host.Network().Rand.Uint32()
+		ack.AckSeq = seq
+		ack.EchoSentAt = p.SentAt
+		ack.EchoRtx = p.IsRtx
+		ack.EchoTrimmed = true
+		ack.AckBlock = -1
+		ack.FlowDone = r.complete
+		ack.Subflow = p.Subflow
 		r.ep.host.Send(ack)
 		return
 	}
@@ -129,22 +133,21 @@ func (r *Receiver) handleData(p *netsim.Packet) {
 	if d.block >= 0 {
 		blockOK = r.blocks[d.block].complete
 	}
-	ack := &netsim.Packet{
-		Type:       netsim.Ack,
-		Flow:       r.flow.ID,
-		Src:        r.flow.Dst.ID(),
-		Dst:        r.flow.Src.ID(),
-		Size:       netsim.AckSize,
-		Entropy:    r.ep.host.Network().Rand.Uint32(),
-		AckSeq:     seq,
-		EchoSentAt: p.SentAt,
-		EchoMarked: p.ECNMarked,
-		EchoRtx:    p.IsRtx,
-		AckBlock:   d.block,
-		AckBlockOK: blockOK,
-		FlowDone:   r.complete,
-		Subflow:    p.Subflow,
-	}
+	ack := r.ep.host.Network().AllocPacket()
+	ack.Type = netsim.Ack
+	ack.Flow = r.flow.ID
+	ack.Src = r.flow.Dst.ID()
+	ack.Dst = r.flow.Src.ID()
+	ack.Size = netsim.AckSize
+	ack.Entropy = r.ep.host.Network().Rand.Uint32()
+	ack.AckSeq = seq
+	ack.EchoSentAt = p.SentAt
+	ack.EchoMarked = p.ECNMarked
+	ack.EchoRtx = p.IsRtx
+	ack.AckBlock = d.block
+	ack.AckBlockOK = blockOK
+	ack.FlowDone = r.complete
+	ack.Subflow = p.Subflow
 	if d.block < 0 {
 		ack.AckBlock = -1
 	}
@@ -163,23 +166,24 @@ func (r *Receiver) onBlockArrival(b int32) {
 		blk.complete = true
 		if blk.timer != nil {
 			blk.timer.Cancel()
-			blk.timer = nil
 		}
 		return
 	}
-	if blk.timer == nil && blk.got == 1 {
+	if !blk.timerPending() && blk.got == 1 {
 		r.armBlockTimer(b, r.params.EC.BlockTimeout)
 	}
 }
 
 // armBlockTimer starts the NACK timer of §4.2: if the block is still not
-// decodable when it fires, a NACK listing the missing packets is sent.
+// decodable when it fires, a NACK listing the missing packets is sent. The
+// Timer is created once per block (on first arming) and rearmed in place
+// for retries.
 func (r *Receiver) armBlockTimer(b int32, after eventq.Time) {
 	blk := &r.blocks[b]
-	blk.timer = r.ep.host.Network().Sched.After(after, func() {
-		blk.timer = nil
-		r.onBlockTimeout(b)
-	})
+	if blk.timer == nil {
+		blk.timer = r.ep.host.Network().Sched.NewTimer(func() { r.onBlockTimeout(b) })
+	}
+	blk.timer.ResetAfter(after)
 }
 
 // onBlockTimeout fires the NACK path for block b.
@@ -194,24 +198,24 @@ func (r *Receiver) onBlockTimeout(b int32) {
 	blk.nacks++
 	r.NacksSent++
 
-	// Collect missing indices within the block.
+	// Collect missing indices within the block, reusing the pooled
+	// packet's NACK buffer (length zero, capacity from prior frees).
+	nack := r.ep.host.Network().AllocPacket()
 	start := r.blockStart(b)
-	missing := make([]int16, 0, blk.count)
+	missing := nack.Missing[:0]
 	for i := int16(0); i < blk.count; i++ {
 		if !r.has(start + int64(i)) {
 			missing = append(missing, i)
 		}
 	}
-	nack := &netsim.Packet{
-		Type:      netsim.Nack,
-		Flow:      r.flow.ID,
-		Src:       r.flow.Dst.ID(),
-		Dst:       r.flow.Src.ID(),
-		Size:      netsim.AckSize,
-		Entropy:   r.ep.host.Network().Rand.Uint32(),
-		NackBlock: b,
-		Missing:   missing,
-	}
+	nack.Type = netsim.Nack
+	nack.Flow = r.flow.ID
+	nack.Src = r.flow.Dst.ID()
+	nack.Dst = r.flow.Src.ID()
+	nack.Size = netsim.AckSize
+	nack.Entropy = r.ep.host.Network().Rand.Uint32()
+	nack.NackBlock = b
+	nack.Missing = missing
 	r.ep.host.Send(nack)
 	// Exponential backoff on retries, in case the NACK or the
 	// retransmissions are lost too.
@@ -249,7 +253,6 @@ func (r *Receiver) checkComplete() {
 	for i := range r.blocks {
 		if t := r.blocks[i].timer; t != nil {
 			t.Cancel()
-			r.blocks[i].timer = nil
 		}
 	}
 }

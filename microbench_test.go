@@ -1,0 +1,104 @@
+package uno_test
+
+// Hot-path microbenchmarks complementing the figure-level benchmarks in
+// bench_test.go: these isolate the three layers the allocation-free hot path
+// touches (event engine, switch port + link, whole incast) so a regression
+// can be localized without bisecting a full experiment. All report allocs —
+// the steady-state budgets are enforced as hard tests in internal/eventq and
+// internal/netsim; these show the cost per operation.
+
+import (
+	"testing"
+
+	"uno/internal/baselines"
+	"uno/internal/eventq"
+	"uno/internal/netsim"
+	"uno/internal/simtest"
+	"uno/internal/transport"
+)
+
+// BenchmarkEventqPushPop measures one schedule+dispatch cycle of the 4-ary
+// heap with recycled events, at a realistic pending-event depth.
+func BenchmarkEventqPushPop(b *testing.B) {
+	s := eventq.New()
+	fn := func(any) {}
+	const depth = 1024
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += depth {
+		n := depth
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			// Knuth-hash the index so pushes land unordered in the heap.
+			s.AfterArg(eventq.Time(1+(uint64(j)*2654435761)%4096), fn, nil)
+		}
+		s.Run()
+	}
+}
+
+// BenchmarkEventqTimerReset measures the rearm-and-fire cycle of a reusable
+// Timer — the pattern every port, pacer, and RTO in the simulator uses.
+func BenchmarkEventqTimerReset(b *testing.B) {
+	s := eventq.New()
+	timer := s.NewTimer(func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		timer.ResetAfter(10)
+		s.Run()
+	}
+}
+
+// BenchmarkPortEnqueueDeliver pushes one pooled packet through the full
+// fabric path per iteration: host NIC serialization, switch routing, output
+// port queue, link propagation, delivery, recycle.
+func BenchmarkPortEnqueueDeliver(b *testing.B) {
+	const bw = int64(100e9)
+	net := netsim.New(1)
+	sw := netsim.NewSwitch(net, "sw", nil)
+	src := netsim.NewHost(net, "src", 0)
+	dst := netsim.NewHost(net, "dst", 0)
+	src.AttachNIC(sw, bw, eventq.Microsecond)
+	dst.AttachNIC(sw, bw, eventq.Microsecond)
+	sw.AddPort(src, bw, eventq.Microsecond, simtest.PortConfig())
+	sw.AddPort(dst, bw, eventq.Microsecond, simtest.PortConfig())
+	sw.SetRouter(simtest.DstRouter{src.ID(): 0, dst.ID(): 1})
+	dst.SetHandler(func(*netsim.Packet) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := net.AllocPacket()
+		p.Type = netsim.Data
+		p.Src = src.ID()
+		p.Dst = dst.ID()
+		p.Size = 1500
+		p.ECNCapable = true
+		src.Send(p)
+		net.Sched.Run()
+	}
+}
+
+// BenchmarkIncastStep runs the golden-digest incast scenario (3 senders, one
+// far, MP-RDMA transport, 1 MiB each) to completion per iteration — the
+// full-stack cost of one small experiment, transport allocations included.
+func BenchmarkIncastStep(b *testing.B) {
+	const bw = int64(100e9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		delays := []eventq.Time{
+			eventq.Microsecond, 2 * eventq.Microsecond, 100 * eventq.Microsecond,
+		}
+		in := simtest.NewIncast(9, bw, delays, simtest.PortConfig())
+		for j := range delays {
+			flow := &transport.Flow{
+				ID: netsim.FlowID(j + 1), Src: in.Senders[j], Dst: in.Recv,
+				Size: 1 << 20, Start: in.Net.Now(),
+			}
+			params := transport.Params{MTU: 4096, BaseRTT: in.BaseRTT(j, 4096, bw)}
+			if _, err := transport.Start(in.SenderEps[j], in.RecvEp, flow, params,
+				baselines.NewMPRDMA(baselines.MPRDMAConfig{}), &transport.FixedEntropy{}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		in.Net.Sched.RunUntil(100 * eventq.Millisecond)
+	}
+}

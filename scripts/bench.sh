@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench.sh — run the tier-1 figure benchmarks with allocation reporting and
+# record the results as a machine-readable JSON snapshot.
+#
+#   ./scripts/bench.sh                 # full run, writes BENCH_<YYYY-MM-DD>.json
+#   ./scripts/bench.sh -short          # 1-iteration smoke (used by ci.sh)
+#   BENCH_FILTER='Fig3|Fig8' ./scripts/bench.sh   # subset
+#
+# The JSON is a list of {name, ns_op, b_op, allocs_op} objects, one per
+# benchmark — diff two snapshots to see what a change cost. Perf work in this
+# repo is gated twice: the golden digests in internal/simtest prove behaviour
+# is byte-identical, and these numbers prove the optimization actually paid.
+set -eu
+cd "$(dirname "$0")/.."
+
+FILTER="${BENCH_FILTER:-BenchmarkFig|BenchmarkSimulatorThroughput|BenchmarkEventq|BenchmarkPortEnqueueDeliver|BenchmarkIncastStep}"
+BENCHTIME="${BENCH_TIME:-1x}"
+OUT="BENCH_$(date +%Y-%m-%d).json"
+
+case "${1:-}" in
+-short)
+    # Smoke mode: a cheap subset, no snapshot file — just prove the
+    # benchmarks still run and report allocations.
+    go test -run 'TestNone' -bench 'BenchmarkFig1$|BenchmarkEventqPushPop$' \
+        -benchtime 1x -benchmem .
+    exit 0
+    ;;
+"") ;;
+*)
+    echo "usage: $0 [-short]" >&2
+    exit 2
+    ;;
+esac
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench '$FILTER' -benchtime $BENCHTIME -benchmem . =="
+go test -run 'TestNone' -bench "$FILTER" -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
+
+# Convert `go test -bench` lines into JSON. Benchmark lines look like:
+#   BenchmarkFig3-8   1   17800000000 ns/op   2745349240 B/op   66600000 allocs/op
+awk -v out="$OUT" '
+/^Benchmark/ && /ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (n++) printf ",\n" > out
+    else printf "[\n" > out
+    printf "  {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+        name, ns, bytes == "" ? 0 : bytes, allocs == "" ? 0 : allocs > out
+}
+END { if (n) printf "\n]\n" > out; else print "[]" > out }
+' "$RAW"
+
+echo "wrote $OUT"

@@ -25,4 +25,7 @@ go test ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
+echo "== bench smoke (scripts/bench.sh -short) =="
+./scripts/bench.sh -short
+
 echo "ci: OK"
