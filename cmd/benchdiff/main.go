@@ -1,0 +1,153 @@
+// Command benchdiff compares two BENCH_*.json snapshots produced by
+// scripts/bench.sh and prints per-benchmark ns/op and B/op deltas, so a
+// perf PR can show exactly what it bought (or cost) per figure.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff BENCH_old.json BENCH_new.json
+//	go run ./cmd/benchdiff -tol 5 BENCH_old.json BENCH_new.json
+//
+// Exit status is 0 even when benchmarks regressed; pass -tol PCT to exit 1
+// if any benchmark's ns/op regressed by more than PCT percent (for CI
+// gating). Both snapshot shapes are accepted: the legacy bare list of
+// benchmark objects and the current {"meta": ..., "benchmarks": [...]}.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+)
+
+type benchResult struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+type snapshot struct {
+	Meta       map[string]string `json:"meta"`
+	Benchmarks []benchResult     `json:"benchmarks"`
+}
+
+// readSnapshot loads a snapshot in either format: the legacy bare JSON list
+// or the object form with a meta block.
+func readSnapshot(path string) (snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snapshot{}, err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err == nil && snap.Benchmarks != nil {
+		return snap, nil
+	}
+	var list []benchResult
+	if err := json.Unmarshal(data, &list); err != nil {
+		return snapshot{}, fmt.Errorf("%s: not a benchmark snapshot: %w", path, err)
+	}
+	return snapshot{Benchmarks: list}, nil
+}
+
+// pctDelta returns the percentage change from old to new (negative =
+// improvement for cost metrics).
+func pctDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+func fmtDelta(pct float64) string {
+	switch {
+	case pct == 0:
+		return "="
+	case pct > 0:
+		return fmt.Sprintf("+%.1f%%", pct)
+	default:
+		return fmt.Sprintf("%.1f%%", pct)
+	}
+}
+
+func main() {
+	tol := flag.Float64("tol", 0,
+		"exit nonzero if any benchmark's ns/op regresses by more than this percent (0 disables)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-tol PCT] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldSnap, err := readSnapshot(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	newSnap, err := readSnapshot(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, s := range []struct {
+		label string
+		snap  snapshot
+		path  string
+	}{{"old", oldSnap, flag.Arg(0)}, {"new", newSnap, flag.Arg(1)}} {
+		if len(s.snap.Meta) > 0 {
+			fmt.Printf("%s: %s (date=%s commit=%s go=%s)\n", s.label, s.path,
+				s.snap.Meta["date"], s.snap.Meta["commit"], s.snap.Meta["go"])
+		} else {
+			fmt.Printf("%s: %s\n", s.label, s.path)
+		}
+	}
+	fmt.Println()
+
+	oldBy := make(map[string]benchResult, len(oldSnap.Benchmarks))
+	for _, b := range oldSnap.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\told ns/op\tnew ns/op\tΔns/op\told B/op\tnew B/op\tΔB/op\tΔallocs")
+	regressed := []string{}
+	seen := make(map[string]bool, len(newSnap.Benchmarks))
+	for _, nb := range newSnap.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t-\t%.0f\tnew\tnew\n", nb.Name, nb.NsOp, nb.BOp)
+			continue
+		}
+		nsPct := pctDelta(ob.NsOp, nb.NsOp)
+		if *tol > 0 && nsPct > *tol {
+			regressed = append(regressed, fmt.Sprintf("%s (%s ns/op)", nb.Name, fmtDelta(nsPct)))
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%s\t%.0f\t%.0f\t%s\t%s\n",
+			nb.Name, ob.NsOp, nb.NsOp, fmtDelta(nsPct),
+			ob.BOp, nb.BOp, fmtDelta(pctDelta(ob.BOp, nb.BOp)),
+			fmtDelta(pctDelta(ob.AllocsOp, nb.AllocsOp)))
+	}
+	for _, ob := range oldSnap.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%s\t%.0f\t-\tremoved\t%.0f\t-\tremoved\tremoved\n", ob.Name, ob.NsOp, ob.BOp)
+		}
+	}
+	w.Flush()
+
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "\nFAIL: %d benchmark(s) regressed beyond %.1f%%:\n", len(regressed), *tol)
+		for _, r := range regressed {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+}

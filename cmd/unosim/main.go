@@ -9,6 +9,7 @@
 //	unosim -exp all -scale 2 -seed 7
 //	unosim -exp fig13a -out results/   # CSV artifacts
 //	unosim -exp fig13a -parallel 4     # fan independent reruns across cores
+//	unosim -exp fig3 -sched heap       # cross-check the heap event queue
 //
 // Scale 1 is a minutes-long quick validation (like sc25_quick_validation);
 // larger scales add flows, reruns, and duration toward paper scale.
@@ -29,6 +30,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"uno/internal/eventq"
 	"uno/internal/harness"
 )
 
@@ -39,12 +41,21 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "base random seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max concurrent simulation runs (independent reruns only; output is identical for any value)")
+		sched = flag.String("sched", eventq.Default().String(),
+			"event-queue backend: wheel (hierarchical timing wheel, O(1)) or heap (4-ary heap); results are identical either way")
 		list       = flag.Bool("list", false, "list available experiments")
 		out        = flag.String("out", "", "also write CSV + text artifacts under this directory (like the paper's artifact_results/)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	kind, err := eventq.ParseKind(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	eventq.SetDefault(kind)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

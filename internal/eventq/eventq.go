@@ -8,10 +8,13 @@
 // serialization times on the link speeds used by the paper are exact
 // (a 4096 B MTU at 100 Gb/s serializes in exactly 327,680 ps).
 //
-// The engine is built for a near-zero-allocation steady state. The priority
-// queue is a hand-specialized 4-ary min-heap over *Event — no container/heap
-// interface dispatch, no `any` boxing on push/pop. Three scheduling flavors
-// trade convenience against allocation:
+// The engine is built for a near-zero-allocation steady state. Two priority
+// queue backends implement the identical (time, seq) contract and are
+// selected by Kind (kind.go): the default hierarchical timing wheel
+// (wheel.go, O(1) per operation) and the hand-specialized 4-ary min-heap
+// (heap.go, O(log n), retained for differential testing). Neither uses
+// container/heap interface dispatch or `any` boxing on push/pop. Three
+// scheduling flavors trade convenience against allocation:
 //
 //   - Schedule/After return a cancel handle; the Event is never reused, so
 //     a retained handle can never observe an unrelated reincarnation.
@@ -91,10 +94,19 @@ type Event struct {
 	argfn func(any)
 	arg   any
 
-	index     int32 // position in the heap, -1 when not queued
+	index     int32 // heap/overflow position, -1 when not heap-queued
 	cancelled bool
 	recycle   bool // return to the free list after popping (no handle exists)
+
+	// Wheel linkage: the bucket chain the event is on (nil when not
+	// wheel-queued) and its neighbors. An event is in at most one place:
+	// b != nil (wheel bucket) xor index >= 0 (heap or wheel overflow).
+	b          *wbucket
+	next, prev *Event
 }
+
+// queued reports whether the event is in any queue structure.
+func (e *Event) queued() bool { return e.b != nil || e.index >= 0 }
 
 // At returns the time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
@@ -120,15 +132,36 @@ func eventLess(a, b *Event) bool {
 // simulations concurrently, e.g. the 100 reruns of Fig 13A).
 type Scheduler struct {
 	now      Time
-	heap     []*Event // 4-ary min-heap ordered by eventLess
 	seq      uint64
 	executed uint64
 	stopped  bool
 	free     []*Event // recycled fire-and-forget events
+
+	// Exactly one backend is active: w when non-nil (Wheel kind),
+	// otherwise the heap.
+	w    *wheel
+	heap eventHeap
 }
 
-// New returns a scheduler positioned at time 0.
-func New() *Scheduler { return &Scheduler{} }
+// New returns a scheduler of the default kind positioned at time 0.
+func New() *Scheduler { return NewKind(Default()) }
+
+// NewKind returns a scheduler with an explicit queue backend. Use New()
+// unless you are cross-checking backends (differential tests, CI).
+func NewKind(k Kind) *Scheduler {
+	if k == Wheel {
+		return &Scheduler{w: newWheel()}
+	}
+	return &Scheduler{}
+}
+
+// Kind returns the scheduler's queue backend kind.
+func (s *Scheduler) Kind() Kind {
+	if s.w != nil {
+		return Wheel
+	}
+	return Heap
+}
 
 // Now returns the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
@@ -139,101 +172,77 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 
 // Pending returns the number of events currently queued, including
 // cancelled-but-unpopped ones.
-func (s *Scheduler) Pending() int { return len(s.heap) }
+func (s *Scheduler) Pending() int {
+	if s.w != nil {
+		return s.w.count
+	}
+	return len(s.heap)
+}
 
 // FreeEvents returns the current size of the event free list (telemetry for
 // the allocation-budget tests).
 func (s *Scheduler) FreeEvents() int { return len(s.free) }
 
-// ---- 4-ary heap primitives ----
-//
-// A 4-ary layout halves the tree depth of a binary heap: pops do a few more
-// comparisons per level but far fewer cache-missing levels, which wins for
-// the event mixes simulations produce (mostly near-future pushes).
+// ---- queue backend dispatch ----
 
-// siftUp places e at index i, bubbling it toward the root.
-func (s *Scheduler) siftUp(i int, e *Event) {
-	for i > 0 {
-		parent := (i - 1) >> 2
-		pe := s.heap[parent]
-		if !eventLess(e, pe) {
-			break
-		}
-		s.heap[i] = pe
-		pe.index = int32(i)
-		i = parent
-	}
-	s.heap[i] = e
-	e.index = int32(i)
-}
-
-// siftDown places e at index i, sinking it below smaller children.
-func (s *Scheduler) siftDown(i int, e *Event) {
-	n := len(s.heap)
-	for {
-		child := i<<2 + 1
-		if child >= n {
-			break
-		}
-		min := child
-		me := s.heap[child]
-		end := child + 4
-		if end > n {
-			end = n
-		}
-		for j := child + 1; j < end; j++ {
-			if ce := s.heap[j]; eventLess(ce, me) {
-				min, me = j, ce
-			}
-		}
-		if !eventLess(me, e) {
-			break
-		}
-		s.heap[i] = me
-		me.index = int32(i)
-		i = min
-	}
-	s.heap[i] = e
-	e.index = int32(i)
-}
-
-// push inserts e into the heap.
+// push enqueues e into the active backend.
 func (s *Scheduler) push(e *Event) {
-	s.heap = append(s.heap, e)
-	s.siftUp(len(s.heap)-1, e)
+	if s.w != nil {
+		s.w.insert(e)
+	} else {
+		s.heap.push(e)
+	}
 }
 
-// popMin removes and returns the earliest event. The heap must be non-empty.
+// maxTime is an effectively infinite deadline for unbounded peeks.
+const maxTime = Time(1<<63 - 1)
+
+// peekUntil returns the earliest queued event if its deadline is at or
+// before deadline, else nil. A wheel backend may cascade internally, but
+// never past deadline, so a caller that then stops and clocks forward to
+// deadline keeps every future insert at or after the wheel position.
+func (s *Scheduler) peekUntil(deadline Time) *Event {
+	if s.w != nil {
+		return s.w.peekUntil(deadline)
+	}
+	if len(s.heap) > 0 && s.heap[0].at <= deadline {
+		return s.heap[0]
+	}
+	return nil
+}
+
+// popKnown dequeues e, which must be the event peekUntil just returned.
+func (s *Scheduler) popKnown(e *Event) {
+	if s.w != nil {
+		s.w.popKnown(e)
+	} else {
+		s.heap.popMin()
+	}
+}
+
+// popMin dequeues and returns the earliest event, or nil when empty.
 func (s *Scheduler) popMin() *Event {
-	e := s.heap[0]
-	n := len(s.heap) - 1
-	last := s.heap[n]
-	s.heap[n] = nil
-	s.heap = s.heap[:n]
-	if n > 0 {
-		s.siftDown(0, last)
+	if s.w != nil {
+		e := s.w.peekUntil(maxTime)
+		if e != nil {
+			s.w.popKnown(e)
+		}
+		return e
 	}
-	e.index = -1
-	return e
+	if len(s.heap) == 0 {
+		return nil
+	}
+	return s.heap.popMin()
 }
 
-// remove deletes e from an arbitrary heap position (Timer rescheduling).
+// remove deletes a queued event from an arbitrary position (Timer
+// rescheduling); no-op if e is not queued.
 func (s *Scheduler) remove(e *Event) {
-	i := int(e.index)
-	if i < 0 {
-		return
+	if s.w != nil {
+		s.w.remove(e)
+	} else {
+		s.heap.remove(e)
 	}
-	n := len(s.heap) - 1
-	last := s.heap[n]
-	s.heap[n] = nil
-	s.heap = s.heap[:n]
-	if i < n {
-		s.siftDown(i, last)
-		if int(last.index) == i {
-			s.siftUp(i, last)
-		}
-	}
-	e.index = -1
 }
 
 // ---- event allocation ----
@@ -250,9 +259,12 @@ func (s *Scheduler) alloc() *Event {
 }
 
 // recycleEvent resets e and returns it to the free list. Only events without
-// an outstanding handle may be recycled.
+// an outstanding handle may be recycled. Popping already restored the queue
+// linkage fields (index == -1, b/next/prev nil), so only the callback and
+// flag fields need clearing — cheaper than rewriting the whole struct.
 func (s *Scheduler) recycleEvent(e *Event) {
-	*e = Event{index: -1}
+	e.fn, e.argfn, e.arg = nil, nil, nil
+	e.cancelled, e.recycle = false, false
 	s.free = append(s.free, e)
 }
 
@@ -339,12 +351,12 @@ func (s *Scheduler) runEvent(e *Event) {
 // deadline so subsequent scheduling is relative to it.
 func (s *Scheduler) RunUntil(deadline Time) {
 	s.stopped = false
-	for len(s.heap) > 0 && !s.stopped {
-		next := s.heap[0]
-		if next.at > deadline {
+	for !s.stopped {
+		next := s.peekUntil(deadline)
+		if next == nil {
 			break
 		}
-		s.popMin()
+		s.popKnown(next)
 		if next.cancelled {
 			continue
 		}
@@ -358,8 +370,11 @@ func (s *Scheduler) RunUntil(deadline Time) {
 // Run executes events until the queue drains or Stop is called.
 func (s *Scheduler) Run() {
 	s.stopped = false
-	for len(s.heap) > 0 && !s.stopped {
+	for !s.stopped {
 		next := s.popMin()
+		if next == nil {
+			break
+		}
 		if next.cancelled {
 			continue
 		}
@@ -370,15 +385,17 @@ func (s *Scheduler) Run() {
 // Step executes exactly one non-cancelled event and reports whether one was
 // available.
 func (s *Scheduler) Step() bool {
-	for len(s.heap) > 0 {
+	for {
 		next := s.popMin()
+		if next == nil {
+			return false
+		}
 		if next.cancelled {
 			continue
 		}
 		s.runEvent(next)
 		return true
 	}
-	return false
 }
 
 // ---- reusable timers ----
@@ -413,7 +430,7 @@ func (s *Scheduler) NewTimer(fn func()) *Timer {
 // freshly Scheduled.
 func (t *Timer) Reset(at Time) {
 	t.s.checkTime(at)
-	if t.e.index >= 0 {
+	if t.e.queued() {
 		t.s.remove(&t.e)
 	}
 	t.e.at = at
@@ -434,13 +451,13 @@ func (t *Timer) ResetAfter(d Time) {
 // immediately (no lazy skip), so a Cancel followed by a Reset can never
 // resurrect the cancelled firing. Cancelling an idle timer is a no-op.
 func (t *Timer) Cancel() {
-	if t.e.index >= 0 {
+	if t.e.queued() {
 		t.s.remove(&t.e)
 	}
 }
 
 // Pending reports whether the timer is armed.
-func (t *Timer) Pending() bool { return t.e.index >= 0 }
+func (t *Timer) Pending() bool { return t.e.queued() }
 
 // At returns the time of the pending firing (meaningful only while
 // Pending).

@@ -1,0 +1,66 @@
+package eventq
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Kind selects the priority-queue backend of a Scheduler. Both kinds
+// implement the identical contract — events fire in exact (time, seq)
+// order — so every golden digest is byte-identical under either; they
+// differ only in cost: the wheel is O(1) per operation on the event mixes
+// simulations produce, the heap O(log n).
+type Kind uint8
+
+const (
+	// Wheel is the hierarchical timing wheel (wheel.go), the default.
+	Wheel Kind = iota
+	// Heap is the 4-ary min-heap (heap.go), retained behind this switch so
+	// differential tests and CI can cross-check the wheel against it.
+	Heap
+)
+
+// String returns the flag spelling of k ("wheel", "heap").
+func (k Kind) String() string {
+	switch k {
+	case Wheel:
+		return "wheel"
+	case Heap:
+		return "heap"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ParseKind parses a -sched flag value.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "wheel":
+		return Wheel, nil
+	case "heap":
+		return Heap, nil
+	}
+	return Wheel, fmt.Errorf("eventq: unknown scheduler kind %q (want wheel or heap)", s)
+}
+
+// defaultKind is what New() builds. Atomic because independent simulations
+// may construct schedulers from harness worker goroutines while a main
+// goroutine (flag parsing, TestMain) sets the default.
+var defaultKind atomic.Uint32
+
+func init() {
+	if v := os.Getenv("UNO_SCHED"); v != "" {
+		k, err := ParseKind(v)
+		if err != nil {
+			panic(err)
+		}
+		defaultKind.Store(uint32(k))
+	}
+}
+
+// SetDefault makes New() build k-kind schedulers (the cmd/unosim -sched
+// flag and the UNO_SCHED environment variable land here).
+func SetDefault(k Kind) { defaultKind.Store(uint32(k)) }
+
+// Default returns the kind New() currently builds.
+func Default() Kind { return Kind(defaultKind.Load()) }

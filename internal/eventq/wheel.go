@@ -1,0 +1,339 @@
+package eventq
+
+import "math/bits"
+
+// Hierarchical timing wheel: the O(1) scheduler backend (the default; see
+// kind.go). Nearly all simulator events land within a narrow horizon — link
+// serialization (≈328 ns for a 4 KiB MTU at 100 Gb/s) plus propagation
+// (1 µs intra-DC, ≈1 ms inter-DC) — the textbook case for a calendar
+// queue: a bucketed wheel makes schedule and dispatch constant-time where
+// the 4-ary heap pays an O(log n) sift with ~2 M events per simulated
+// second in flight.
+//
+// Geometry. wheelLevels levels of wheelSlots power-of-two-spaced buckets.
+// A level-ℓ bucket spans 2^(wheelGranBits + ℓ·wheelLevelBits) ps. The
+// level-0 bucket width is chosen well below the minimum event spacing a
+// saturated port produces (an ACK serializes in ≈5 ns at 100 Gb/s), so
+// level-0 chains stay near one event and the sorted insert is O(1) in
+// practice — profiling at 16 ns buckets showed multi-event chains turning
+// the insert scan into the top cost of the whole simulator.
+//
+//	level 0:  64 × 2.05 ns  →  131 ns window   (serialization, pacing)
+//	level 1:  64 × 131 ns   →  8.4 µs window   (propagation, intra-DC RTTs)
+//	level 2:  64 × 8.4 µs   →  537 µs window   (epochs, queueing delays)
+//	level 3:  64 × 537 µs   →  34 ms window    (inter-DC RTTs, RTOs)
+//	level 4:  64 × 34 ms    →  2.2 s window    (samplers, phase timers)
+//	level 5:  64 × 2.2 s    →  141 s window    (experiment horizons)
+//
+// Events beyond the top window go to an overflow 4-ary heap and migrate
+// into the wheel when the clock reaches them (see popKnown/migrate).
+//
+// Buckets index by absolute time: slot = (at >> levelShift) & slotMask.
+// The invariant is that an event lives at the lowest level whose current
+// window (the aligned span containing pos that one bucket of the level
+// above covers) contains its deadline. advanceTo maintains it: whenever
+// the clock enters a new bucket at some level, that bucket's chain
+// cascades down to lower levels.
+//
+// Order preservation — the digest gate. The engine's contract is exact
+// (time, seq) total order. Level-0 buckets keep their chains sorted by
+// (time, seq) (insertion scans from the tail, O(1) for the monotone
+// schedules simulations produce); higher-level buckets are unordered FIFO
+// chains whose events are re-placed one at a time on cascade, so order is
+// re-established at level 0 before anything fires. Overflow ties resolve
+// toward the heap: the top window only ever grows forward, so an overflow
+// event with the same deadline as a wheel event was necessarily scheduled
+// earlier and carries the smaller seq.
+const (
+	wheelLevelBits = 6
+	wheelSlots     = 1 << wheelLevelBits
+	wheelSlotMask  = wheelSlots - 1
+	wheelGranBits  = 11 // level-0 bucket width: 2^11 ps ≈ 2.05 ns
+	wheelLevels    = 6
+)
+
+// wheelShift returns the bit offset of level lvl's slot index within an
+// absolute time. Level wheelLevels (one past the top) is the horizon shift.
+func wheelShift(lvl int) uint {
+	return wheelGranBits + uint(lvl)*wheelLevelBits
+}
+
+// wbucket is one wheel bucket: a doubly-linked chain of events. level and
+// slot are fixed at wheel construction so unlinking can clear the occupancy
+// bit without searching.
+type wbucket struct {
+	head, tail *Event
+	level      int32
+	slot       int32
+}
+
+// append links e at the tail (higher levels: unordered, sorted on cascade).
+func (b *wbucket) append(e *Event) {
+	e.prev = b.tail
+	e.next = nil
+	if b.tail != nil {
+		b.tail.next = e
+	} else {
+		b.head = e
+	}
+	b.tail = e
+}
+
+// insertSorted links e in (time, seq) order, scanning from the tail: the
+// common case — monotone nondecreasing schedules — appends in O(1).
+func (b *wbucket) insertSorted(e *Event) {
+	p := b.tail
+	for p != nil && eventLess(e, p) {
+		p = p.prev
+	}
+	if p == nil { // new head
+		e.prev = nil
+		e.next = b.head
+		if b.head != nil {
+			b.head.prev = e
+		} else {
+			b.tail = e
+		}
+		b.head = e
+		return
+	}
+	e.prev = p
+	e.next = p.next
+	if p.next != nil {
+		p.next.prev = e
+	} else {
+		b.tail = e
+	}
+	p.next = e
+}
+
+// wheel is the hierarchical timing-wheel queue backing a Wheel-kind
+// Scheduler. All storage is fixed at construction; steady-state operation
+// allocates nothing (the overflow heap's slice grows amortized and is
+// reused).
+type wheel struct {
+	// pos is the wheel's clock: the deadline of the last popped event (or
+	// the zero start). Every queued event is at pos or later, and every
+	// future insert is too, so bucket placement relative to pos is stable.
+	// pos may lag Scheduler.now (RunUntil advances the scheduler clock
+	// without popping); that only delays cascades, never misorders them.
+	pos      Time
+	count    int
+	occupied [wheelLevels]uint64 // per-level bitmap of non-empty slots
+	levels   [wheelLevels][wheelSlots]wbucket
+	overflow eventHeap // events past the top-level window, min-heap order
+}
+
+func newWheel() *wheel {
+	w := &wheel{}
+	for lvl := range w.levels {
+		for slot := range w.levels[lvl] {
+			b := &w.levels[lvl][slot]
+			b.level, b.slot = int32(lvl), int32(slot)
+		}
+	}
+	return w
+}
+
+// levelFor returns the wheel level whose current window contains time t
+// (relative to w.pos), or wheelLevels if t is past the top window
+// (overflow). t must be >= w.pos.
+func (w *wheel) levelFor(t Time) int {
+	h := bits.Len64(uint64(t) ^ uint64(w.pos))
+	if h <= wheelGranBits+wheelLevelBits {
+		return 0
+	}
+	return (h - wheelGranBits - 1) / wheelLevelBits
+}
+
+// place links e into the bucket for its deadline at the given level, which
+// must be levelFor(e.at) < wheelLevels.
+func (w *wheel) place(e *Event, lvl int) {
+	slot := int(uint64(e.at)>>wheelShift(lvl)) & wheelSlotMask
+	b := &w.levels[lvl][slot]
+	if lvl == 0 {
+		b.insertSorted(e)
+	} else {
+		b.append(e)
+	}
+	w.occupied[lvl] |= 1 << uint(slot)
+	e.b = b
+}
+
+// insert enqueues e.
+func (w *wheel) insert(e *Event) {
+	if lvl := w.levelFor(e.at); lvl < wheelLevels {
+		w.place(e, lvl)
+	} else {
+		w.overflow.push(e)
+	}
+	w.count++
+}
+
+// unlink detaches e from its bucket chain, clearing the occupancy bit if
+// the bucket empties.
+func (w *wheel) unlink(e *Event) {
+	b := e.b
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		b.tail = e.prev
+	}
+	if b.head == nil {
+		w.occupied[b.level] &^= 1 << uint(b.slot)
+	}
+	e.b, e.prev, e.next = nil, nil, nil
+}
+
+// remove deletes e wherever it is queued (bucket chain or overflow heap);
+// no-op if e is not queued. Used by Timer.Reset/Cancel.
+func (w *wheel) remove(e *Event) {
+	switch {
+	case e.b != nil:
+		w.unlink(e)
+	case e.index >= 0:
+		w.overflow.remove(e)
+	default:
+		return
+	}
+	w.count--
+}
+
+// peekUntil returns the earliest queued event if its deadline is at or
+// before deadline, else nil. It may cascade (advance pos up to the start
+// of the bucket holding the minimum, never past deadline), which is safe
+// for a caller that then stops at deadline: pos stays at or below every
+// future insert. Cascading instead of scanning keeps the peek O(1): an
+// unordered higher-level chain never needs a linear minimum scan, because
+// the chain is pushed down to sorted level-0 buckets first.
+func (w *wheel) peekUntil(deadline Time) *Event {
+	for {
+		var ov *Event
+		if len(w.overflow) > 0 {
+			ov = w.overflow[0]
+		}
+		lvl, slot := w.scan()
+		if lvl < 0 { // wheel empty: the overflow root is the minimum
+			if ov == nil || ov.at > deadline {
+				return nil
+			}
+			return ov
+		}
+		if lvl == 0 {
+			cand := w.levels[0][slot].head
+			if ov != nil && eventLess(ov, cand) {
+				cand = ov
+			}
+			if cand.at > deadline {
+				return nil
+			}
+			return cand
+		}
+		// The minimum is somewhere in bucket (lvl, slot), whose span starts
+		// at bstart. A leftover overflow event at or before bstart precedes
+		// everything in the bucket (a tie goes to overflow: the top window
+		// only grows forward, so the overflow event was scheduled first and
+		// carries the smaller seq).
+		bstart := Time(uint64(w.pos)&^(1<<wheelShift(lvl+1)-1) |
+			uint64(slot)<<wheelShift(lvl))
+		if ov != nil && ov.at <= bstart {
+			if ov.at > deadline {
+				return nil
+			}
+			return ov
+		}
+		if bstart > deadline {
+			return nil // everything still queued is after the deadline
+		}
+		w.advanceTo(bstart) // cascade the bucket down; rescan finer
+	}
+}
+
+// scan returns the level and slot of the first non-empty bucket in level
+// order — the bucket containing the wheel's minimum — or (-1, -1) if the
+// wheel proper is empty. Slots below the current position are in the past
+// of each level's window and therefore empty.
+func (w *wheel) scan() (lvl, slot int) {
+	for lvl = 0; lvl < wheelLevels; lvl++ {
+		cur := int(uint64(w.pos)>>wheelShift(lvl)) & wheelSlotMask
+		if m := w.occupied[lvl] &^ (1<<uint(cur) - 1); m != 0 {
+			return lvl, bits.TrailingZeros64(m)
+		}
+	}
+	return -1, -1
+}
+
+// advanceTo moves the wheel clock to t (the deadline of an event being
+// popped — guaranteed <= every queued deadline and every future insert)
+// and cascades: each level whose current bucket changed re-places that
+// bucket's chain at lower levels, top-down, so by the time pos sits inside
+// a bucket its events have been re-sorted into level 0.
+func (w *wheel) advanceTo(t Time) {
+	if t <= w.pos {
+		return
+	}
+	diff := uint64(w.pos) ^ uint64(t)
+	w.pos = t
+	hb := bits.Len64(diff)
+	if hb <= wheelGranBits+wheelLevelBits {
+		return // still inside the same level-0 window: nothing can cascade
+	}
+	top := (hb - wheelGranBits - 1) / wheelLevelBits
+	if top >= wheelLevels {
+		top = wheelLevels - 1
+	}
+	for lvl := top; lvl >= 1; lvl-- {
+		slot := int(uint64(t)>>wheelShift(lvl)) & wheelSlotMask
+		if w.occupied[lvl]&(1<<uint(slot)) == 0 {
+			continue
+		}
+		b := &w.levels[lvl][slot]
+		e := b.head
+		b.head, b.tail = nil, nil
+		w.occupied[lvl] &^= 1 << uint(slot)
+		for e != nil {
+			next := e.next
+			e.b, e.prev, e.next = nil, nil, nil
+			// Re-placement relative to the new pos always lands below lvl
+			// (the event shares pos's high bits down to this bucket) and
+			// never in a current slot, so top-down cascading terminates.
+			w.place(e, w.levelFor(e.at))
+			e = next
+		}
+	}
+}
+
+// popKnown dequeues e, which must be the event peekUntil just returned.
+// Popping from overflow migrates any newly in-horizon overflow events into
+// the wheel (in heap order, i.e. (time, seq) order) so that after a long
+// idle jump — an RTO finally firing, a sampler epoch — subsequent
+// operations are O(1) again.
+func (w *wheel) popKnown(e *Event) {
+	w.advanceTo(e.at)
+	if e.b != nil {
+		// advanceTo(e.at) cascaded e's bucket chain down to level 0 (its
+		// deadline equals pos, which is level 0 by definition), where the
+		// sorted chain makes the global minimum the head; unlink is O(1).
+		w.unlink(e)
+	} else {
+		w.overflow.popMin()
+		w.migrate()
+	}
+	w.count--
+}
+
+// migrate drains overflow events that now fall inside the top-level window
+// into the wheel. Heap pops come out in (time, seq) order, and placement
+// keeps level-0 chains sorted, so migration preserves the total order.
+func (w *wheel) migrate() {
+	horizon := Time((uint64(w.pos)>>wheelShift(wheelLevels) + 1) << wheelShift(wheelLevels))
+	for len(w.overflow) > 0 && w.overflow[0].at < horizon {
+		e := w.overflow.popMin()
+		w.place(e, w.levelFor(e.at))
+	}
+}

@@ -1,0 +1,190 @@
+package eventq
+
+import "testing"
+
+// Wheel-specific edge cases: deadlines landing exactly on level boundaries,
+// cascade re-sorting, overflow migration, and deadline-bounded peeks that
+// cascade without overrunning. These pin the geometry invariants that the
+// randomized differential test only samples.
+
+// collectWheel runs a Wheel scheduler over the given absolute times (in the
+// given schedule order) and returns the times in fire order.
+func collectWheel(t *testing.T, times []Time) []Time {
+	t.Helper()
+	s := NewKind(Wheel)
+	var fired []Time
+	for _, at := range times {
+		at := at
+		s.Schedule(at, func() { fired = append(fired, at) })
+	}
+	s.Run()
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d of %d events", len(fired), len(times))
+	}
+	return fired
+}
+
+// TestWheelLevelBoundaryEvents schedules events exactly on every level's
+// bucket boundary (and one tick either side): the placement/cascade math is
+// most fragile where t's high bits first differ from pos's.
+func TestWheelLevelBoundaryEvents(t *testing.T) {
+	var times []Time
+	for lvl := 0; lvl <= wheelLevels; lvl++ {
+		span := Time(1) << wheelShift(lvl)
+		for _, k := range []Time{1, 2, 63, 64, 65} {
+			for _, d := range []Time{-1, 0, 1} {
+				if at := k*span + d; at > 0 {
+					times = append(times, at)
+				}
+			}
+		}
+	}
+	// Schedule in a worst-case (descending) order so every insert lands in
+	// front of everything already queued.
+	for i, j := 0, len(times)-1; i < j; i, j = i+1, j-1 {
+		times[i], times[j] = times[j], times[i]
+	}
+	fired := collectWheel(t, times)
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("fire order violated at %d: %d after %d", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+// TestWheelBoundaryTieOrder puts several events on one exact level-2
+// boundary tick, interleaved with neighbors, and checks FIFO tie order
+// survives the cascade from an unsorted higher-level chain.
+func TestWheelBoundaryTieOrder(t *testing.T) {
+	s := NewKind(Wheel)
+	boundary := Time(1) << wheelShift(2) // first level-2 bucket boundary
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		s.Schedule(boundary, func() { order = append(order, i) })
+		// Neighbor events force the boundary bucket's chain to be walked
+		// around by cascades.
+		s.Schedule(boundary+Time(i+1), func() {})
+		s.Schedule(boundary-Time(i+1), func() {})
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick order[%d] = %d after cascade; want FIFO", i, v)
+		}
+	}
+}
+
+// TestWheelOverflowMigration mixes near events with events past the wheel's
+// top window (at > 2^wheelShift(wheelLevels) from pos) so the overflow heap
+// must hold them and migrate them in order as the clock advances.
+func TestWheelOverflowMigration(t *testing.T) {
+	horizon := Time(1) << wheelShift(wheelLevels)
+	times := []Time{
+		1, horizon - 1, horizon, horizon + 1,
+		2 * horizon, 2*horizon + 1, 3 * horizon,
+		horizon / 2, 5, horizon + horizon/2,
+	}
+	fired := collectWheel(t, times)
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("overflow order violated: %d after %d", fired[i], fired[i-1])
+		}
+	}
+}
+
+// TestWheelOverflowTieOrder pins the tie-break rule between a migrated
+// overflow event and a wheel event on the same tick: the overflow event was
+// scheduled first (the top window only grows forward), so it must fire
+// first.
+func TestWheelOverflowTieOrder(t *testing.T) {
+	s := NewKind(Wheel)
+	horizon := Time(1) << wheelShift(wheelLevels)
+	var order []int
+	// Scheduled at time 0: beyond the top window → overflow.
+	s.Schedule(horizon+5, func() { order = append(order, 0) })
+	// Advance the clock into the second top-level window, then schedule the
+	// same deadline: now within the window → wheel.
+	s.Schedule(horizon, func() {
+		s.Schedule(horizon+5, func() { order = append(order, 1) })
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("overflow/wheel same-tick order = %v, want [0 1]", order)
+	}
+}
+
+// TestWheelRunUntilBoundary checks that a deadline-bounded run stopping
+// exactly at / just before a level boundary neither runs late events nor
+// strands the queue: peekUntil may cascade internally but must never
+// advance past the deadline in a way that breaks later scheduling.
+func TestWheelRunUntilBoundary(t *testing.T) {
+	s := NewKind(Wheel)
+	boundary := Time(1) << wheelShift(1) // first level-1 boundary
+	var fired []Time
+	for _, at := range []Time{boundary - 1, boundary, boundary + 1} {
+		at := at
+		s.Schedule(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(boundary - 1)
+	if len(fired) != 1 || fired[0] != boundary-1 {
+		t.Fatalf("RunUntil(boundary-1) fired %v", fired)
+	}
+	// Scheduling between the deadline and the still-queued events must work
+	// and fire in order.
+	s.Schedule(boundary, func() { fired = append(fired, -1) }) // after existing boundary event
+	s.RunUntil(boundary)
+	if len(fired) != 3 || fired[1] != boundary || fired[2] != -1 {
+		t.Fatalf("fired after RunUntil(boundary) = %v", fired)
+	}
+	s.Run()
+	if len(fired) != 4 || fired[3] != boundary+1 {
+		t.Fatalf("fired after drain = %v", fired)
+	}
+}
+
+// TestWheelIdleJumpThenNear reproduces the RTO pattern: a long idle jump to
+// a far deadline, then a flurry of near events scheduled from its callback.
+func TestWheelIdleJumpThenNear(t *testing.T) {
+	s := NewKind(Wheel)
+	far := 3*Time(1)<<wheelShift(wheelLevels) + 12345
+	var fired []Time
+	s.Schedule(far, func() {
+		for d := Time(0); d < 10; d++ {
+			d := d
+			s.After(d, func() { fired = append(fired, s.Now()-far) })
+		}
+	})
+	s.Run()
+	if len(fired) != 10 {
+		t.Fatalf("fired %d near events after idle jump, want 10", len(fired))
+	}
+	for i, d := range fired {
+		if d != Time(i) {
+			t.Fatalf("near event %d fired at offset %d", i, d)
+		}
+	}
+}
+
+// TestWheelAllocFree: the wheel's steady-state schedule→fire cycle must be
+// allocation-free just like the heap's (the PR-2 budget extended to the new
+// default backend), including cycles that cross level boundaries.
+func TestWheelAllocFree(t *testing.T) {
+	s := NewKind(Wheel)
+	fn := func(any) {}
+	for i := 0; i < 64; i++ { // warm the free list
+		s.AfterArg(1, fn, nil)
+	}
+	s.Run()
+	timer := s.NewTimer(func() {})
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.AfterArg(1, fn, nil)                                  // level 0
+		s.AfterArg(Time(1)<<wheelShift(2), fn, nil)             // mid level
+		s.AfterArg(Time(1)<<wheelShift(wheelLevels)+1, fn, nil) // overflow
+		timer.ResetAfter(Time(1) << wheelShift(1))
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("wheel steady-state cycle allocates %v objects per run, want 0", allocs)
+	}
+}

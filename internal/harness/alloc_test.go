@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"testing"
+
+	"uno/internal/eventq"
+	"uno/internal/workload"
+)
+
+// TestSamplerTickAllocFree extends the PR-2 allocation budget to the
+// measurement plane: once a RateSampler's series are built, each periodic
+// tick (poll every connection's byte counters, fold them into fixed-size
+// TimeSeries bins, rearm the timer) must allocate nothing. The sim is run
+// to quiescence first so the measured cycles contain only sampler work.
+func TestSamplerTickAllocFree(t *testing.T) {
+	sim := MustNewSim(7, smallTopo(), StackUno())
+	specs := []workload.FlowSpec{
+		{Src: 4, Dst: 0, Size: 1 << 20},
+		{Src: 8, Dst: 0, Size: 1 << 20},
+	}
+	conns := sim.Schedule(specs)
+	interval := 250 * eventq.Microsecond
+	stop := 40 * eventq.Second // far past anything this test runs
+	rs := sim.SampleRates(conns, interval, stop)
+
+	// Let the flows finish and several ticks fire (warming the timer and
+	// any lazily grown state), then measure pure tick cycles.
+	sim.Run(20 * eventq.Millisecond)
+	if sim.Pending() != 0 {
+		t.Fatalf("%d flows still pending before measurement", sim.Pending())
+	}
+	sched := sim.Net.Sched
+	allocs := testing.AllocsPerRun(200, func() {
+		sched.RunUntil(sched.Now() + interval)
+	})
+	if allocs != 0 {
+		t.Fatalf("sampler tick allocates %v objects per interval, want 0", allocs)
+	}
+	for _, series := range rs.Series {
+		if series.Bins() == 0 {
+			t.Fatal("sampler recorded no bins")
+		}
+	}
+}

@@ -210,6 +210,8 @@ func (s *Sim) Results() []FlowResult { return s.results }
 // FCT-slowdown (vs ideal) instead of absolute FCT in microseconds.
 func (s *Sim) FCTStats(slowdown bool) (intra, inter stats.Summary) {
 	var si, se stats.Sample
+	si.Reserve(len(s.results))
+	se.Reserve(len(s.results))
 	for _, r := range s.results {
 		v := r.FCT.Seconds() * 1e6
 		if slowdown {
@@ -227,6 +229,7 @@ func (s *Sim) FCTStats(slowdown bool) (intra, inter stats.Summary) {
 // AllFCTStats summarizes all completed flows together.
 func (s *Sim) AllFCTStats(slowdown bool) stats.Summary {
 	var sm stats.Sample
+	sm.Reserve(len(s.results))
 	for _, r := range s.results {
 		if slowdown {
 			sm.Add(r.Slowdown())
@@ -294,6 +297,7 @@ func (s *Sim) SampleRates(conns []*transport.Conn, interval, stop eventq.Time) *
 		rs.doneAt[i] = -1
 	}
 	bins := int(stop/interval) + 1
+	rs.Series = make([]*stats.TimeSeries, 0, len(conns))
 	for range conns {
 		rs.Series = append(rs.Series, stats.NewTimeSeries(0, interval, bins))
 	}

@@ -11,10 +11,26 @@ import (
 )
 
 // Sample is an ordered collection of scalar observations with summary
-// helpers. The zero value is an empty sample.
+// helpers. The zero value is an empty sample; collectors that know their
+// observation count up front should NewSample or Reserve so steady-state
+// recording never grows the slice mid-run.
 type Sample struct {
 	values []float64
 	sorted bool
+}
+
+// NewSample returns an empty sample with room for n observations.
+func NewSample(n int) *Sample {
+	return &Sample{values: make([]float64, 0, n)}
+}
+
+// Reserve ensures capacity for at least n further observations.
+func (s *Sample) Reserve(n int) {
+	if need := len(s.values) + n; need > cap(s.values) {
+		grown := make([]float64, len(s.values), need)
+		copy(grown, s.values)
+		s.values = grown
+	}
 }
 
 // Add appends an observation.

@@ -33,13 +33,30 @@ func ecmpHash(entropy uint32, flow netsim.FlowID, src, dst netsim.NodeID, salt u
 //	        [cores, ...)        inter-DC uplinks grouped by destination DC
 type fatTreeRouter struct {
 	t *DualDC
+
+	// Derived layout constants, precomputed at Build so the per-hop hot
+	// path neither copies the Config struct nor recomputes them.
+	pp, hpe, pods, cores int
+	numDCs, borderLinks  int
+}
+
+func newFatTreeRouter(t *DualDC) *fatTreeRouter {
+	cfg := t.Cfg
+	return &fatTreeRouter{
+		t:           t,
+		pp:          cfg.perPod(),
+		hpe:         cfg.hostsPerEdge(),
+		pods:        cfg.pods(),
+		cores:       cfg.cores(),
+		numDCs:      cfg.NumDCs,
+		borderLinks: cfg.BorderLinks,
+	}
 }
 
 func (r *fatTreeRouter) Route(sw *netsim.Switch, p *netsim.Packet) int {
-	cfg := r.t.Cfg
-	dst := r.t.Coord(p.Dst)
-	pp := cfg.perPod()
-	hpe := cfg.hostsPerEdge()
+	// Destinations are always hosts; index the dense coord table directly
+	// (by pointer: no 32-byte struct copy per hop).
+	dst := &r.t.coords[p.Dst]
 	pick := func(base, n int) int {
 		if n == 1 {
 			return base
@@ -52,27 +69,27 @@ func (r *fatTreeRouter) Route(sw *netsim.Switch, p *netsim.Packet) int {
 		if dst.DC == sw.DC && dst.Pod == sw.Meta[0] && dst.Edge == sw.Meta[1] {
 			return dst.Idx // host downlink
 		}
-		return pick(hpe, pp) // up to any agg in the pod
+		return pick(r.hpe, r.pp) // up to any agg in the pod
 
 	case TierAgg:
 		if dst.DC == sw.DC && dst.Pod == sw.Meta[0] {
 			return dst.Edge // down to the destination edge
 		}
-		return pick(pp, pp) // up to any of this agg's cores
+		return pick(r.pp, r.pp) // up to any of this agg's cores
 
 	case TierCore:
 		if dst.DC == sw.DC {
 			return dst.Pod // exactly one downlink per pod
 		}
-		if cfg.NumDCs == 1 {
+		if r.numDCs == 1 {
 			return -1
 		}
-		return cfg.pods() // border uplink
+		return r.pods // border uplink
 
 	case TierBorder:
 		if dst.DC == sw.DC {
 			// Down toward any core; every core reaches every pod.
-			return pick(0, cfg.cores())
+			return pick(0, r.cores)
 		}
 		// Toward the destination DC's border: inter-DC ports are grouped
 		// by destination DC in ascending order, skipping our own DC.
@@ -80,8 +97,8 @@ func (r *fatTreeRouter) Route(sw *netsim.Switch, p *netsim.Packet) int {
 		if dst.DC > sw.DC {
 			group--
 		}
-		base := cfg.cores() + group*cfg.BorderLinks
-		return pick(base, cfg.BorderLinks)
+		base := r.cores + group*r.borderLinks
+		return pick(base, r.borderLinks)
 	}
 	return -1
 }

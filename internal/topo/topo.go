@@ -195,7 +195,11 @@ type DualDC struct {
 	DCs   []*DC
 	Hosts []*netsim.Host // all hosts, DC-major order
 
-	coords map[netsim.NodeID]HostCoord
+	// coords is a dense table indexed by NodeID (hosts and switches draw
+	// ids from the same space, so non-host slots carry DC == -1). Routing
+	// reads it once per hop per packet; a dense index keeps that lookup a
+	// bounds-checked load instead of a map hash.
+	coords []HostCoord
 
 	// Inter holds all directed border-to-border links, grouped by
 	// direction for failure injection: Inter[from][to][i].
@@ -208,12 +212,11 @@ func Build(net *netsim.Network, cfg Config) (*DualDC, error) {
 		return nil, err
 	}
 	t := &DualDC{
-		Cfg:    cfg,
-		Net:    net,
-		coords: make(map[netsim.NodeID]HostCoord),
-		Inter:  make(map[int]map[int][]InterLink),
+		Cfg:   cfg,
+		Net:   net,
+		Inter: make(map[int]map[int][]InterLink),
 	}
-	router := &fatTreeRouter{t: t}
+	router := newFatTreeRouter(t)
 
 	intraPort := func() netsim.PortConfig { return t.portConfig(false) }
 	interPort := func() netsim.PortConfig { return t.portConfig(true) }
@@ -255,7 +258,7 @@ func Build(net *netsim.Network, cfg Config) (*DualDC, error) {
 					edge.AddPort(h, cfg.LinkBps, cfg.IntraLinkDelay, intraPort())
 					d.Hosts = append(d.Hosts, h)
 					t.Hosts = append(t.Hosts, h)
-					t.coords[h.ID()] = HostCoord{DC: dc, Pod: p, Edge: e, Idx: hIdx}
+					t.setCoord(h.ID(), HostCoord{DC: dc, Pod: p, Edge: e, Idx: hIdx})
 				}
 			}
 		}
@@ -387,13 +390,23 @@ func (t *DualDC) portConfig(inter bool) netsim.PortConfig {
 	return pc
 }
 
+// setCoord records a host's coordinates, growing the dense table with
+// DC == -1 sentinels for the switch ids interleaved among host ids.
+func (t *DualDC) setCoord(id netsim.NodeID, c HostCoord) {
+	for int(id) >= len(t.coords) {
+		t.coords = append(t.coords, HostCoord{DC: -1})
+	}
+	t.coords[id] = c
+}
+
 // Coord returns the coordinates of host id. It panics for unknown ids.
 func (t *DualDC) Coord(id netsim.NodeID) HostCoord {
-	c, ok := t.coords[id]
-	if !ok {
-		panic(fmt.Sprintf("topo: node %d is not a host", id))
+	if int(id) < len(t.coords) {
+		if c := t.coords[id]; c.DC >= 0 {
+			return c
+		}
 	}
-	return c
+	panic(fmt.Sprintf("topo: node %d is not a host", id))
 }
 
 // Host returns the i-th host in DC-major order.

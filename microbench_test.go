@@ -17,35 +17,48 @@ import (
 	"uno/internal/transport"
 )
 
-// BenchmarkEventqPushPop measures one schedule+dispatch cycle of the 4-ary
-// heap with recycled events, at a realistic pending-event depth.
+// eventqKinds enumerates both queue backends so the engine microbenchmarks
+// report a per-kind cost and a wheel-vs-heap regression is visible without
+// rerunning under UNO_SCHED.
+var eventqKinds = []eventq.Kind{eventq.Wheel, eventq.Heap}
+
+// BenchmarkEventqPushPop measures one schedule+dispatch cycle with recycled
+// events, at a realistic pending-event depth, for each queue backend.
 func BenchmarkEventqPushPop(b *testing.B) {
-	s := eventq.New()
-	fn := func(any) {}
-	const depth = 1024
-	b.ReportAllocs()
-	for i := 0; i < b.N; i += depth {
-		n := depth
-		if rem := b.N - i; rem < n {
-			n = rem
-		}
-		for j := 0; j < n; j++ {
-			// Knuth-hash the index so pushes land unordered in the heap.
-			s.AfterArg(eventq.Time(1+(uint64(j)*2654435761)%4096), fn, nil)
-		}
-		s.Run()
+	for _, kind := range eventqKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			s := eventq.NewKind(kind)
+			fn := func(any) {}
+			const depth = 1024
+			b.ReportAllocs()
+			for i := 0; i < b.N; i += depth {
+				n := depth
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				for j := 0; j < n; j++ {
+					// Knuth-hash the index so pushes land unordered in the queue.
+					s.AfterArg(eventq.Time(1+(uint64(j)*2654435761)%4096), fn, nil)
+				}
+				s.Run()
+			}
+		})
 	}
 }
 
 // BenchmarkEventqTimerReset measures the rearm-and-fire cycle of a reusable
 // Timer — the pattern every port, pacer, and RTO in the simulator uses.
 func BenchmarkEventqTimerReset(b *testing.B) {
-	s := eventq.New()
-	timer := s.NewTimer(func() {})
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		timer.ResetAfter(10)
-		s.Run()
+	for _, kind := range eventqKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			s := eventq.NewKind(kind)
+			timer := s.NewTimer(func() {})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				timer.ResetAfter(10)
+				s.Run()
+			}
+		})
 	}
 }
 

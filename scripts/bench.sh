@@ -6,22 +6,33 @@
 #   ./scripts/bench.sh -short          # 1-iteration smoke (used by ci.sh)
 #   BENCH_FILTER='Fig3|Fig8' ./scripts/bench.sh   # subset
 #
-# The JSON is a list of {name, ns_op, b_op, allocs_op} objects, one per
-# benchmark — diff two snapshots to see what a change cost. Perf work in this
-# repo is gated twice: the golden digests in internal/simtest prove behaviour
-# is byte-identical, and these numbers prove the optimization actually paid.
+# The JSON is {"meta": {date, commit, go}, "benchmarks": [{name, ns_op,
+# b_op, allocs_op}, ...]} — compare two snapshots with scripts/bench_diff.sh
+# (or `go run ./cmd/benchdiff`). If a snapshot for today already exists, a
+# -2/-3/... suffix is appended instead of clobbering it. Perf work in this
+# repo is gated twice: the golden digests in internal/simtest prove
+# behaviour is byte-identical, and these numbers prove the optimization
+# actually paid.
 set -eu
 cd "$(dirname "$0")/.."
 
 FILTER="${BENCH_FILTER:-BenchmarkFig|BenchmarkSimulatorThroughput|BenchmarkEventq|BenchmarkPortEnqueueDeliver|BenchmarkIncastStep}"
 BENCHTIME="${BENCH_TIME:-1x}"
+
 OUT="BENCH_$(date +%Y-%m-%d).json"
+if [ -e "$OUT" ]; then
+    n=2
+    while [ -e "BENCH_$(date +%Y-%m-%d)-$n.json" ]; do
+        n=$((n + 1))
+    done
+    OUT="BENCH_$(date +%Y-%m-%d)-$n.json"
+fi
 
 case "${1:-}" in
 -short)
     # Smoke mode: a cheap subset, no snapshot file — just prove the
     # benchmarks still run and report allocations.
-    go test -run 'TestNone' -bench 'BenchmarkFig1$|BenchmarkEventqPushPop$' \
+    go test -run 'TestNone' -bench 'BenchmarkFig1$|BenchmarkEventqPushPop' \
         -benchtime 1x -benchmem .
     exit 0
     ;;
@@ -35,12 +46,20 @@ esac
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+GOVER="$(go env GOVERSION)"
+
 echo "== go test -bench '$FILTER' -benchtime $BENCHTIME -benchmem . =="
 go test -run 'TestNone' -bench "$FILTER" -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
 # Convert `go test -bench` lines into JSON. Benchmark lines look like:
 #   BenchmarkFig3-8   1   17800000000 ns/op   2745349240 B/op   66600000 allocs/op
-awk -v out="$OUT" '
+awk -v out="$OUT" -v date="$(date +%Y-%m-%d)" -v commit="$COMMIT" -v gover="$GOVER" '
+BEGIN {
+    printf "{\n  \"meta\": {\"date\": \"%s\", \"commit\": \"%s\", \"go\": \"%s\"},\n", \
+        date, commit, gover > out
+    printf "  \"benchmarks\": [" > out
+}
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = ""; bytes = ""; allocs = ""
@@ -49,12 +68,10 @@ awk -v out="$OUT" '
         if ($i == "B/op")      bytes = $(i-1)
         if ($i == "allocs/op") allocs = $(i-1)
     }
-    if (n++) printf ",\n" > out
-    else printf "[\n" > out
-    printf "  {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
-        name, ns, bytes == "" ? 0 : bytes, allocs == "" ? 0 : allocs > out
+    printf "%s\n    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+        n++ ? "," : "", name, ns, bytes == "" ? 0 : bytes, allocs == "" ? 0 : allocs > out
 }
-END { if (n) printf "\n]\n" > out; else print "[]" > out }
+END { printf "\n  ]\n}\n" > out }
 ' "$RAW"
 
 echo "wrote $OUT"

@@ -1,0 +1,15 @@
+#!/bin/sh
+# bench_diff.sh — compare two BENCH_*.json snapshots (see scripts/bench.sh)
+# and print per-benchmark ns/op and B/op deltas.
+#
+#   ./scripts/bench_diff.sh BENCH_old.json BENCH_new.json
+#   BENCH_TOL=5 ./scripts/bench_diff.sh old.json new.json   # fail on >5% ns/op regression
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+
+exec go run ./cmd/benchdiff -tol "${BENCH_TOL:-0}" "$1" "$2"

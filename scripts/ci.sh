@@ -22,6 +22,16 @@ go vet ./...
 echo "== go test ./... =="
 go test ./...
 
+# The golden digests must be byte-identical under both event-queue
+# backends (the timing wheel is the default; the 4-ary heap stays behind
+# -sched/UNO_SCHED until retired). The full suite above already ran with
+# the default; rerun the digest suite once per explicit backend.
+echo "== golden digests, UNO_SCHED=wheel =="
+UNO_SCHED=wheel go test -count=1 ./internal/simtest/
+
+echo "== golden digests, UNO_SCHED=heap =="
+UNO_SCHED=heap go test -count=1 ./internal/simtest/
+
 echo "== go test -race ./... =="
 go test -race ./...
 
