@@ -96,6 +96,48 @@ func TestDRRPerClassOccupancyAccounting(t *testing.T) {
 	}
 }
 
+// TestDRRTrimInterplay: a packet trimmed at a DRR port must land in its
+// own class queue (at header size) with classBytes tracking the aggregate
+// exactly, and be delivered in its class.
+func TestDRRTrimInterplay(t *testing.T) {
+	cfg := PortConfig{
+		QueueCap: 2*4096 + 4*AckSize, ControlBypass: true, Trim: true,
+		ClassWeights: []int{3, 1},
+	}
+	net, a, sw, b := buildPair(t, cfg, 10e9, eventq.Microsecond)
+	var trimmedByClass [2]int
+	b.SetHandler(func(p *Packet) {
+		if p.Trimmed {
+			trimmedByClass[p.Class]++
+		}
+	})
+	// Class 0 fills the aggregate; class-1 arrivals then overflow and are
+	// trimmed into class 1's queue.
+	for i := 0; i < 3; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Class: 0, Seq: int64(i)})
+	}
+	for i := 0; i < 4; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Class: 1, Seq: int64(3 + i)})
+		sum := sw.Port(0).ClassQueuedBytes(0) + sw.Port(0).ClassQueuedBytes(1)
+		if sum != sw.Port(0).QueuedBytes() {
+			t.Fatalf("class sums %d != aggregate %d after trim", sum, sw.Port(0).QueuedBytes())
+		}
+	}
+	if got := sw.Port(0).ClassQueuedBytes(1); got != 4*AckSize {
+		t.Fatalf("class-1 occupancy %d, want %d (4 trimmed headers)", got, 4*AckSize)
+	}
+	if st := sw.Port(0).Stats(); st.Trims != 4 {
+		t.Fatalf("trims = %d, want 4", st.Trims)
+	}
+	net.Sched.Run()
+	if trimmedByClass[0] != 0 || trimmedByClass[1] != 4 {
+		t.Fatalf("trimmed deliveries by class = %v, want [0 4]", trimmedByClass)
+	}
+	if sum := sw.Port(0).ClassQueuedBytes(0) + sw.Port(0).ClassQueuedBytes(1); sum != 0 {
+		t.Fatalf("classBytes did not drain to zero: %d", sum)
+	}
+}
+
 func TestDRRInvalidWeightPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -101,6 +101,11 @@ func newPort(net *Network, owner Node, link *Link, cfg PortConfig) *Port {
 	if cfg.QueueCap <= 0 {
 		panic("netsim: port needs positive queue capacity")
 	}
+	if cfg.QCN && cfg.QCNThresh >= cfg.QueueCap {
+		// sendCnm normalizes overload by QueueCap-QCNThresh; a threshold at
+		// or above the capacity would make every feedback +Inf/NaN.
+		panic("netsim: QCN threshold must be below queue capacity")
+	}
 	for _, w := range cfg.ClassWeights {
 		if w <= 0 {
 			panic("netsim: DRR class weights must be positive")
@@ -176,12 +181,19 @@ func (p *Port) Enqueue(pkt *Packet) {
 
 	isControl := pkt.Type != Data || pkt.Trimmed
 	if p.queuedBytes+int64(pkt.Size) > p.cfg.QueueCap && !(isControl && p.cfg.ControlBypass) {
-		if p.cfg.Trim && pkt.Type == Data {
+		trimmedHere := false
+		if p.cfg.Trim && pkt.Type == Data && !pkt.Trimmed {
 			// Trim to the header and forward as a control-sized packet.
 			pkt.Trimmed = true
 			pkt.Size = AckSize
-			p.stats.Trims++
-		} else {
+			trimmedHere = true
+		}
+		// The capacity still applies to the trimmed header (unless
+		// ControlBypass admits it like other control traffic): without the
+		// re-check a full trim-enabled queue grows without bound in
+		// AckSize steps.
+		if !trimmedHere ||
+			(!p.cfg.ControlBypass && p.queuedBytes+int64(pkt.Size) > p.cfg.QueueCap) {
 			p.stats.TailDrops++
 			if p.net.Observer != nil {
 				p.net.Observer.PacketDropped(p.owner.Name()+" port", DropTail, pkt)
@@ -189,6 +201,7 @@ func (p *Port) Enqueue(pkt *Packet) {
 			p.net.FreePacket(pkt)
 			return
 		}
+		p.stats.Trims++
 	}
 
 	if pkt.ECNCapable && !pkt.ECNMarked {
@@ -238,7 +251,12 @@ func (p *Port) Enqueue(pkt *Packet) {
 // sampled packet's source, carrying the queue's relative overload.
 func (p *Port) sendCnm(pkt *Packet) {
 	over := float64(p.queuedBytes-p.cfg.QCNThresh) / float64(p.cfg.QueueCap-p.cfg.QCNThresh)
-	if over > 1 {
+	// Clamp to [0, 1]: ControlBypass (and trimming) can push queuedBytes
+	// past QueueCap, and the inverted comparison also rejects NaN, so a
+	// CC consuming Packet.Feedback never sees a value outside the range.
+	if !(over > 0) {
+		over = 0
+	} else if over > 1 {
 		over = 1
 	}
 	cnm := p.net.AllocPacket()

@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"uno/internal/eventq"
+)
+
+// TestQCNThreshAtCapacityPanics is the regression test for the sendCnm
+// division by zero: a QCN threshold at (or above) the queue capacity used
+// to produce +Inf/NaN feedback; newPort now rejects the configuration.
+func TestQCNThreshAtCapacityPanics(t *testing.T) {
+	for _, thresh := range []int64{1 << 20, 2 << 20} { // == cap, > cap
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("QCNThresh=%d with QueueCap=%d did not panic", thresh, int64(1<<20))
+				}
+			}()
+			net := New(1)
+			sw := NewSwitch(net, "sw", directRouter{})
+			h := NewHost(net, "h", 0)
+			sw.AddPort(h, 100e9, eventq.Microsecond,
+				PortConfig{QueueCap: 1 << 20, QCN: true, QCNThresh: thresh})
+		}()
+	}
+}
+
+// TestQCNFeedbackClamped: even when bypassing control traffic pushes the
+// queue past its capacity, the CNM feedback stays in [0, 1].
+func TestQCNFeedbackClamped(t *testing.T) {
+	cfg := PortConfig{
+		QueueCap: 4 << 10, ControlBypass: true, Trim: true,
+		QCN: true, QCNThresh: 2 << 10, QCNSample: 1,
+	}
+	net, a, sw, b := buildPair(t, cfg, 1e9, eventq.Microsecond)
+	var feedbacks []float64
+	// buildPair's single-port switch routes everything — CNMs included —
+	// toward b, which is fine: only the feedback values matter here.
+	b.SetHandler(func(p *Packet) {
+		if p.Type == Cnm {
+			feedbacks = append(feedbacks, p.Feedback)
+		}
+	})
+	// Flood faster than the port drains: everything past the capacity is
+	// trimmed and bypasses, so queuedBytes exceeds QueueCap while QCN keeps
+	// sampling data packets.
+	for i := 0; i < 64; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Seq: int64(i)})
+	}
+	net.Sched.Run()
+	if len(feedbacks) == 0 {
+		t.Fatal("no CNMs despite a standing queue above the QCN threshold")
+	}
+	for _, f := range feedbacks {
+		if math.IsNaN(f) || f < 0 || f > 1 {
+			t.Fatalf("CNM feedback %v outside [0, 1]", f)
+		}
+	}
+}
+
+// TestQCNSampleDefault: QCNSample == 0 falls back to sampling every 32nd
+// admitted data packet above the threshold.
+func TestQCNSampleDefault(t *testing.T) {
+	cfg := PortConfig{QueueCap: 1 << 20, QCN: true, QCNThresh: 0}
+	_, a, sw, b := buildPair(t, cfg, 1e9, eventq.Microsecond)
+	// Enqueue synchronously (no scheduler run): the first packet enters the
+	// transmitter, every later one queues above the zero threshold.
+	for i := 0; i < 65; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Seq: int64(i)})
+	}
+	// 64 packets counted above the threshold → exactly 2 samples.
+	if got := sw.Port(0).Stats().CnmsSent; got != 2 {
+		t.Fatalf("CnmsSent = %d with default sampling, want 2", got)
+	}
+}
+
+// TestQCNCnmRoutedFromMidPathSwitch: a CNM generated at a congested
+// second-hop switch must be routed back to the packet's source host like
+// any other packet, arriving with in-range feedback.
+func TestQCNCnmRoutedFromMidPathSwitch(t *testing.T) {
+	const fast, slow = int64(100e9), int64(1e9)
+	net := New(1)
+	sw1 := NewSwitch(net, "sw1", nil)
+	sw2 := NewSwitch(net, "sw2", nil)
+	a := NewHost(net, "a", 0)
+	b := NewHost(net, "b", 0)
+	a.AttachNIC(sw1, fast, eventq.Microsecond)
+	byDst := func(aPort, bPort int) Router {
+		return routerFunc(func(_ *Switch, p *Packet) int {
+			if p.Dst == a.ID() {
+				return aPort
+			}
+			return bPort
+		})
+	}
+	// sw1: port 0 → sw2 (fast), port 1 → a.
+	sw1.AddPort(sw2, fast, eventq.Microsecond, defaultPort())
+	sw1.AddPort(a, fast, eventq.Microsecond, defaultPort())
+	sw1.SetRouter(byDst(1, 0))
+	// sw2: port 0 → b is the slow, QCN-enabled bottleneck; port 1 → sw1.
+	sw2.AddPort(b, slow, eventq.Microsecond,
+		PortConfig{QueueCap: 1 << 20, QCN: true, QCNThresh: 16 << 10, QCNSample: 1})
+	sw2.AddPort(sw1, fast, eventq.Microsecond, defaultPort())
+	sw2.SetRouter(byDst(1, 0))
+
+	cnms := 0
+	a.SetHandler(func(p *Packet) {
+		if p.Type == Cnm {
+			cnms++
+			if math.IsNaN(p.Feedback) || p.Feedback < 0 || p.Feedback > 1 {
+				t.Fatalf("CNM feedback %v outside [0, 1]", p.Feedback)
+			}
+		}
+	})
+	b.SetHandler(func(*Packet) {})
+	for i := 0; i < 32; i++ {
+		a.Send(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Seq: int64(i)})
+	}
+	net.Sched.Run()
+	if cnms == 0 {
+		t.Fatal("no CNM made it back to the source from the mid-path switch")
+	}
+	if sw2.Port(0).Stats().CnmsSent == 0 {
+		t.Fatal("congested mid-path port sent no CNMs")
+	}
+}

@@ -49,6 +49,61 @@ func TestTrimDisabledStillDrops(t *testing.T) {
 	}
 }
 
+// TestTrimFloodRespectsQueueCap is the regression test for the unbounded
+// trim growth bug: without ControlBypass, a full trim-enabled queue used to
+// admit every trimmed header anyway, growing past QueueCap in AckSize
+// steps. The cap must hold throughout a flood, with the overflow headers
+// that don't fit counted as tail drops.
+func TestTrimFloodRespectsQueueCap(t *testing.T) {
+	// Fits two data packets plus three trimmed headers, no bypass.
+	cfg := PortConfig{QueueCap: 2*4096 + 3*AckSize, Trim: true}
+	net, a, sw, b := buildPair(t, cfg, 100e9, eventq.Microsecond)
+	b.SetHandler(func(*Packet) {})
+	const n = 500
+	for i := 0; i < n; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Seq: int64(i)})
+		if q := sw.Port(0).QueuedBytes(); q > cfg.QueueCap {
+			t.Fatalf("after %d enqueues, queuedBytes %d exceeds cap %d", i+1, q, cfg.QueueCap)
+		}
+	}
+	st := sw.Port(0).Stats()
+	if st.Trims != 3 {
+		t.Fatalf("trims = %d, want exactly the 3 headers that fit", st.Trims)
+	}
+	if st.TailDrops == 0 {
+		t.Fatal("headers that did not fit must count as tail drops")
+	}
+	// Every flooded packet is accounted exactly once: dropped, queued
+	// (trimmed-and-admitted included), or in the transmitter.
+	if got := st.TailDrops + uint64(sw.Port(0).QueuedPackets()) + 1; got != n {
+		t.Fatalf("accounting: drops+queued+tx = %d, want %d", got, n)
+	}
+	net.Sched.Run()
+	if q := sw.Port(0).QueuedBytes(); q != 0 {
+		t.Fatalf("queue did not drain: %d bytes left", q)
+	}
+}
+
+// TestTrimFullQueueWithoutBypassDropsTrimmed: an already-trimmed packet
+// arriving at a full no-bypass queue is tail-dropped, not re-trimmed and
+// admitted over capacity.
+func TestTrimFullQueueWithoutBypassDropsTrimmed(t *testing.T) {
+	cfg := PortConfig{QueueCap: 4100, Trim: true}
+	_, a, sw, b := buildPair(t, cfg, 100e9, eventq.Microsecond)
+	// Fill: one in the transmitter, one queued (4096 of 4100), then leave
+	// only sub-header room.
+	for i := 0; i < 2; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096})
+	}
+	sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: AckSize, Trimmed: true})
+	if got := sw.Port(0).Stats().TailDrops; got != 1 {
+		t.Fatalf("trimmed packet at full no-bypass queue: tail drops = %d, want 1", got)
+	}
+	if q := sw.Port(0).QueuedBytes(); q > cfg.QueueCap {
+		t.Fatalf("queuedBytes %d exceeds cap %d", q, cfg.QueueCap)
+	}
+}
+
 func TestTrimmedPacketsBypassFullQueues(t *testing.T) {
 	// A packet trimmed upstream must traverse later full queues like
 	// control traffic rather than being dropped again.
