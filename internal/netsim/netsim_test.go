@@ -196,6 +196,33 @@ func TestREDLinearProbability(t *testing.T) {
 	}
 }
 
+// TestREDCountsArrivingPacket is the regression test for the RED
+// convention mismatch: physical RED used to judge the queue *before*
+// adding the arriving packet while the phantom queue judged it *after*.
+// Both subtests put the queue exactly at MarkMin so the pre-fix code can
+// never mark, while the after-add occupancy is past MarkMax so the fixed
+// code must always mark — deterministic either way.
+func TestREDCountsArrivingPacket(t *testing.T) {
+	run := func(t *testing.T, cfg PortConfig) {
+		_, a, sw, b := buildPair(t, cfg, 1e9, eventq.Microsecond)
+		// Packet 1 occupies the transmitter, packet 2 queues 4096 bytes
+		// (== MarkMin); the capable packet 3 lands at 8192 >= MarkMax.
+		for i := 0; i < 2; i++ {
+			sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096})
+		}
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, ECNCapable: true})
+		if got := sw.Port(0).Stats().ECNMarks; got != 1 {
+			t.Fatalf("ECN marks = %d, want 1 (RED must include the arriving packet)", got)
+		}
+	}
+	t.Run("fifo", func(t *testing.T) {
+		run(t, PortConfig{QueueCap: 1 << 20, MarkMin: 4096, MarkMax: 8000})
+	})
+	t.Run("drr", func(t *testing.T) {
+		run(t, PortConfig{QueueCap: 1 << 20, MarkMin: 4096, MarkMax: 8000, ClassWeights: []int{1}})
+	})
+}
+
 func TestECNMarkingOnlyForCapablePackets(t *testing.T) {
 	cfg := PortConfig{QueueCap: 1 << 20, MarkMin: 0, MarkMax: 1, ControlBypass: true}
 	net, a, sw, b := buildPair(t, cfg, 100e9, eventq.Microsecond)

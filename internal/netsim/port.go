@@ -207,13 +207,17 @@ func (p *Port) Enqueue(pkt *Packet) {
 	if pkt.ECNCapable && !pkt.ECNMarked {
 		marked := phantomMark
 		if !marked && p.cfg.MarkMax > 0 {
-			occ, min, max := float64(p.queuedBytes), float64(p.cfg.MarkMin), float64(p.cfg.MarkMax)
+			// RED sees the occupancy including the arriving packet, the same
+			// after-add convention as PhantomQueue.OnEnqueue (§5.1): the mark
+			// reflects the queue the packet actually joins.
+			occ := float64(p.queuedBytes + int64(pkt.Size))
+			min, max := float64(p.cfg.MarkMin), float64(p.cfg.MarkMax)
 			if len(p.classQ) > 0 {
 				// Per-class RED: a class's occupancy against thresholds
 				// scaled by its weight share.
 				c := p.classOf(pkt)
 				share := p.weightShare(c)
-				occ, min, max = float64(p.classBytes[c]), min*share, max*share
+				occ, min, max = float64(p.classBytes[c]+int64(pkt.Size)), min*share, max*share
 			}
 			marked = redDecision(occ, min, max, p.net.Rand)
 		}
