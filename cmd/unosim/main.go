@@ -32,6 +32,7 @@ import (
 
 	"uno/internal/eventq"
 	"uno/internal/harness"
+	"uno/internal/netsim"
 )
 
 func main() {
@@ -43,6 +44,8 @@ func main() {
 			"max concurrent simulation runs (independent reruns only; output is identical for any value)")
 		sched = flag.String("sched", eventq.Default().String(),
 			"event-queue backend: wheel (hierarchical timing wheel, O(1)) or heap (4-ary heap); results are identical either way")
+		batch = flag.String("batch", netsim.BatchMode(netsim.BatchDefault()),
+			"batched link delivery: on (per-link arrival FIFO, one scheduler insert per busy period) or off (one insert per packet); results are identical either way")
 		list       = flag.Bool("list", false, "list available experiments")
 		out        = flag.String("out", "", "also write CSV + text artifacts under this directory (like the paper's artifact_results/)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
@@ -56,6 +59,13 @@ func main() {
 		os.Exit(2)
 	}
 	eventq.SetDefault(kind)
+
+	batchOn, err := netsim.ParseBatch(*batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	netsim.SetBatchDefault(batchOn)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

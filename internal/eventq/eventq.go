@@ -320,6 +320,20 @@ func (s *Scheduler) AfterArg(d Time, fn func(any), arg any) {
 	s.ScheduleArg(s.now+d, fn, arg)
 }
 
+// ReserveSeq consumes and returns the next insertion sequence number
+// without scheduling anything. A caller that wants to defer an insert —
+// e.g. queue packet arrivals in its own FIFO and arm a single Timer for
+// the whole batch — reserves the seq at the moment it would otherwise
+// have scheduled, then arms the timer with ResetSeq when the entry
+// reaches the head: the (time, seq) pair, and therefore the total
+// execution order, is exactly what an immediate ScheduleArg would have
+// produced.
+func (s *Scheduler) ReserveSeq() uint64 {
+	n := s.seq
+	s.seq++
+	return n
+}
+
 // Stop makes the currently executing Run return after the current event's
 // callback completes.
 func (s *Scheduler) Stop() { s.stopped = true }
@@ -445,6 +459,25 @@ func (t *Timer) ResetAfter(d Time) {
 		panic(fmt.Sprintf("eventq: negative delay %v", d))
 	}
 	t.Reset(t.s.now + d)
+}
+
+// ResetSeq (re)schedules the timer to fire at absolute time at using a
+// sequence number previously obtained from Scheduler.ReserveSeq. Among
+// same-time events the firing slots in as if it had been scheduled at
+// reservation time, not at ResetSeq time — the mechanism that lets a
+// batching caller keep a deferred insert's execution order identical to
+// the eager one. The time must still be in the future; the reserved seq
+// must belong to a firing that has not yet been replayed (at or after
+// the reservation point), which holds for any caller that reserves on
+// entry to its FIFO and arms in FIFO order.
+func (t *Timer) ResetSeq(at Time, seq uint64) {
+	t.s.checkTime(at)
+	if t.e.queued() {
+		t.s.remove(&t.e)
+	}
+	t.e.at = at
+	t.e.seq = seq
+	t.s.push(&t.e)
 }
 
 // Cancel disarms the timer if pending: the event is removed from the heap

@@ -1,0 +1,131 @@
+package eventq
+
+import (
+	"testing"
+
+	"uno/internal/rng"
+)
+
+// TestResetSeqSlotsInAtReservation: among same-time events, a timer armed
+// via ResetSeq fires in the slot fixed by ReserveSeq, not in arm order.
+func TestResetSeqSlotsInAtReservation(t *testing.T) {
+	for _, k := range []Kind{Heap, Wheel} {
+		s := NewKind(k)
+		var got []int
+		seq := s.ReserveSeq() // slot 0, reserved before the others
+		s.Schedule(10, func() { got = append(got, 1) })
+		s.Schedule(10, func() { got = append(got, 2) })
+		tm := s.NewTimer(func() { got = append(got, 0) })
+		tm.ResetSeq(10, seq) // armed last
+		s.Run()
+		if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+			t.Fatalf("kind %v: fire order %v, want [0 1 2]", k, got)
+		}
+	}
+}
+
+// TestResetSeqRearmable: a timer rearmed from its own callback with
+// successively reserved seqs walks a FIFO without disturbing interleaved
+// events.
+func TestResetSeqRearmable(t *testing.T) {
+	s := New()
+	type entry struct {
+		at  Time
+		seq uint64
+	}
+	var fifo []entry
+	count := 0
+	var tm *Timer
+	tm = s.NewTimer(func() {
+		fifo = fifo[1:]
+		count++
+		if len(fifo) > 0 {
+			tm.ResetSeq(fifo[0].at, fifo[0].seq)
+		}
+	})
+	for i := 0; i < 5; i++ {
+		fifo = append(fifo, entry{Time(100 + 10*i), s.ReserveSeq()})
+	}
+	tm.ResetSeq(fifo[0].at, fifo[0].seq)
+	s.Run()
+	if count != 5 || len(fifo) != 0 {
+		t.Fatalf("fired %d of 5, %d left in fifo", count, len(fifo))
+	}
+}
+
+// TestReserveSeqFIFOEquivalence: items delivered through a ReserveSeq
+// FIFO drained by one ResetSeq timer must fire in the exact sequence that
+// eager per-item ScheduleArg produces, including ties against unrelated
+// same-time events — the invariant batched link delivery relies on.
+func TestReserveSeqFIFOEquivalence(t *testing.T) {
+	type item struct {
+		at  Time
+		seq uint64
+		id  int
+	}
+	run := func(k Kind, seed uint64, batched bool) []firing {
+		r := rng.New(seed)
+		s := NewKind(k)
+		var fired []firing
+		const delay = Time(1000)
+		var fifo []item
+		var tm *Timer
+		tm = s.NewTimer(func() {
+			head := fifo[0]
+			fifo = fifo[1:]
+			fired = append(fired, firing{s.Now(), head.id})
+			if len(fifo) > 0 {
+				tm.ResetSeq(fifo[0].at, fifo[0].seq)
+			}
+		})
+		deliver := func(a any) { fired = append(fired, firing{s.Now(), a.(int)}) }
+		offer := func(id int) {
+			if !batched {
+				s.AfterArg(delay, deliver, id)
+				return
+			}
+			// Reserve at offer time so the slot matches what AfterArg
+			// would have taken; arm the timer only for the head.
+			fifo = append(fifo, item{s.Now() + delay, s.ReserveSeq(), id})
+			if len(fifo) == 1 {
+				tm.ResetSeq(fifo[0].at, fifo[0].seq)
+			}
+		}
+		nextID, noiseID := 0, 1<<20
+		for i := 0; i < 2000; i++ {
+			switch r.Intn(4) {
+			case 0, 1:
+				offer(nextID)
+				nextID++
+			case 2:
+				// Noise event landing exactly on a pending delivery tick
+				// to contest the same-time ordering.
+				id := noiseID
+				noiseID++
+				s.Schedule(s.Now()+delay, func() { fired = append(fired, firing{s.Now(), id}) })
+			default:
+				s.RunUntil(s.Now() + Time(r.Intn(3000)))
+			}
+		}
+		s.Run()
+		return fired
+	}
+	for _, k := range []Kind{Heap, Wheel} {
+		for _, seed := range []uint64{1, 7, 42, 90125} {
+			eager := run(k, seed, false)
+			batch := run(k, seed, true)
+			if len(eager) != len(batch) {
+				t.Fatalf("kind %v seed %d: eager fired %d, batched %d", k, seed, len(eager), len(batch))
+			}
+			if len(eager) == 0 {
+				t.Fatalf("kind %v seed %d: vacuous script", k, seed)
+			}
+			for i := range eager {
+				if eager[i] != batch[i] {
+					t.Fatalf("kind %v seed %d: firing %d differs: eager (at=%d id=%d) vs batched (at=%d id=%d)",
+						k, seed, i, eager[i].at, eager[i].id, batch[i].at, batch[i].id)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package netsim
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Batched link delivery coalesces per-packet arrival scheduling: instead
+// of one scheduler insert per packet in flight, each link keeps a FIFO of
+// (time, seq, packet) arrivals and walks it with a single reusable timer
+// (see Link.deliver). Delivery times and order are provably identical —
+// the seq is reserved at the moment the eager path would have scheduled —
+// so every golden digest is byte-identical under either mode; the toggle
+// exists for differential CI, mirroring eventq's UNO_SCHED switch.
+
+// batchDefault is what New() captures into each Network. Atomic because
+// harness workers construct networks from worker goroutines while a main
+// goroutine (flag parsing, TestMain) may set the default.
+var batchDefault atomic.Bool
+
+func init() {
+	batchDefault.Store(true)
+	if v := os.Getenv("UNO_BATCH"); v != "" {
+		b, err := ParseBatch(v)
+		if err != nil {
+			panic(err)
+		}
+		batchDefault.Store(b)
+	}
+}
+
+// ParseBatch parses a -batch flag / UNO_BATCH value.
+func ParseBatch(s string) (bool, error) {
+	switch s {
+	case "on", "true", "1":
+		return true, nil
+	case "off", "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("netsim: unknown batch mode %q (want on or off)", s)
+}
+
+// BatchMode returns the flag spelling of b ("on", "off").
+func BatchMode(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// SetBatchDefault makes subsequently created Networks use (or not use)
+// batched link delivery (the cmd/unosim -batch flag and the UNO_BATCH
+// environment variable land here).
+func SetBatchDefault(b bool) { batchDefault.Store(b) }
+
+// BatchDefault returns the mode New() currently captures.
+func BatchDefault() bool { return batchDefault.Load() }

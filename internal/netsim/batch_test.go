@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"testing"
+
+	"uno/internal/eventq"
+)
+
+// delivery records one packet arrival for trace comparison.
+type delivery struct {
+	at   eventq.Time
+	id   uint64
+	size int
+}
+
+// batchTrace drives a bursty two-hop scenario with batched delivery on or
+// off and returns the exact arrival trace at the far host. The slow
+// bottleneck keeps several packets in flight per link busy period, and
+// interleaved CNMs contest same-time ordering.
+func batchTrace(t *testing.T, batched bool) []delivery {
+	t.Helper()
+	cfg := PortConfig{
+		QueueCap: 1 << 20, MarkMin: 8 << 10, MarkMax: 64 << 10,
+		ControlBypass: true, QCN: true, QCNThresh: 32 << 10, QCNSample: 4,
+	}
+	net, a, sw, b := buildPair(t, cfg, 2e9, eventq.Microsecond)
+	net.SetBatchDelivery(batched)
+	var trace []delivery
+	b.SetHandler(func(p *Packet) {
+		trace = append(trace, delivery{net.Now(), p.ID, p.Size})
+	})
+	for burst := 0; burst < 10; burst++ {
+		for i := 0; i < 20; i++ {
+			pkt := net.AllocPacket()
+			pkt.ID = net.NextPacketID()
+			pkt.Type = Data
+			pkt.Src = a.ID()
+			pkt.Dst = b.ID()
+			pkt.Size = 4096
+			pkt.ECNCapable = true
+			sw.Port(0).Enqueue(pkt)
+		}
+		net.Sched.RunUntil(net.Now() + 50*eventq.Microsecond)
+	}
+	net.Sched.Run()
+	return trace
+}
+
+// TestBatchDeliveryTraceIdentical: batched delivery must produce the
+// byte-identical arrival trace — same packets, same times, same order —
+// as eager per-packet scheduling.
+func TestBatchDeliveryTraceIdentical(t *testing.T) {
+	eager := batchTrace(t, false)
+	batched := batchTrace(t, true)
+	if len(eager) == 0 {
+		t.Fatal("vacuous scenario: no deliveries")
+	}
+	if len(eager) != len(batched) {
+		t.Fatalf("eager delivered %d packets, batched %d", len(eager), len(batched))
+	}
+	for i := range eager {
+		if eager[i] != batched[i] {
+			t.Fatalf("delivery %d differs: eager %+v vs batched %+v", i, eager[i], batched[i])
+		}
+	}
+}
+
+// TestBatchFIFOLongBusyPeriod pushes enough back-to-back packets through
+// one link to trigger the arrival FIFO's head compaction, asserting
+// nothing is lost or reordered.
+func TestBatchFIFOLongBusyPeriod(t *testing.T) {
+	net, a, sw, b := buildPair(t, PortConfig{QueueCap: 16 << 20}, 100e9, 10*eventq.Millisecond)
+	net.SetBatchDelivery(true)
+	var got []int64
+	b.SetHandler(func(p *Packet) { got = append(got, p.Seq) })
+	// 10 ms propagation vs ~328 ns serialization: all 400 packets are in
+	// flight on the link simultaneously, FIFO depth ≈ 400 > compaction
+	// threshold.
+	const n = 400
+	for i := 0; i < n; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Seq: int64(i)})
+	}
+	net.Sched.Run()
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d", len(got), n)
+	}
+	for i, s := range got {
+		if s != int64(i) {
+			t.Fatalf("delivery %d carries seq %d: reordered", i, s)
+		}
+	}
+}
+
+// TestBatchBackToBackSpacing mirrors TestBackToBackPacketsPipelined under
+// forced batching: consecutive arrivals must still be spaced by exactly
+// one serialization time.
+func TestBatchBackToBackSpacing(t *testing.T) {
+	const bw = int64(100e9)
+	net, a, sw, b := buildPair(t, defaultPort(), bw, eventq.Microsecond)
+	net.SetBatchDelivery(true)
+	var times []eventq.Time
+	b.SetHandler(func(*Packet) { times = append(times, net.Now()) })
+	for i := 0; i < 4; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096})
+	}
+	net.Sched.Run()
+	if len(times) != 4 {
+		t.Fatalf("delivered %d of 4", len(times))
+	}
+	ser := SerializationTime(4096, bw)
+	for i := 1; i < len(times); i++ {
+		if got := times[i] - times[i-1]; got != ser {
+			t.Fatalf("arrival gap %d = %v, want %v", i, got, ser)
+		}
+	}
+}
+
+func TestParseBatch(t *testing.T) {
+	for _, s := range []string{"on", "true", "1"} {
+		if b, err := ParseBatch(s); err != nil || !b {
+			t.Fatalf("ParseBatch(%q) = %v, %v", s, b, err)
+		}
+	}
+	for _, s := range []string{"off", "false", "0"} {
+		if b, err := ParseBatch(s); err != nil || b {
+			t.Fatalf("ParseBatch(%q) = %v, %v", s, b, err)
+		}
+	}
+	if _, err := ParseBatch("sometimes"); err == nil {
+		t.Fatal("ParseBatch accepted garbage")
+	}
+	if BatchMode(true) != "on" || BatchMode(false) != "off" {
+		t.Fatal("BatchMode spelling changed")
+	}
+}

@@ -38,7 +38,27 @@ type Link struct {
 	// delivery scheduling allocates neither an event nor a closure.
 	arriveFn func(any)
 
+	// Batched-delivery machinery (Network.BatchDelivery): packets in
+	// flight wait in this head-compacted FIFO and arrTimer walks it one
+	// entry per firing. Each entry carries the (time, seq) pair reserved
+	// when deliver ran, so the execution order — including ties against
+	// unrelated same-time events — is exactly the eager path's. Only the
+	// FIFO head occupies the scheduler: one long-horizon insert per busy
+	// period instead of one per packet, with the rearms landing in the
+	// wheel's cheap short-horizon levels.
+	arrivals []linkArrival
+	arrHead  int
+	arrTimer *eventq.Timer
+
 	stats LinkStats
+}
+
+// linkArrival is one in-flight packet: its arrival time, the insertion
+// sequence reserved at deliver time, and the packet itself.
+type linkArrival struct {
+	at  eventq.Time
+	seq uint64
+	p   *Packet
 }
 
 // newLink wires a link toward node to.
@@ -48,6 +68,7 @@ func newLink(net *Network, to Node, bandwidth int64, delay eventq.Time, name str
 	}
 	l := &Link{net: net, Bandwidth: bandwidth, Delay: delay, Name: name, to: to, up: true}
 	l.arriveFn = l.arrive
+	l.arrTimer = net.Sched.NewTimer(l.arriveHead)
 	return l
 }
 
@@ -87,7 +108,16 @@ func (l *Link) deliver(p *Packet) {
 	}
 	l.stats.Delivered++
 	l.stats.Bytes += uint64(p.Size)
-	l.net.Sched.AfterArg(l.Delay, l.arriveFn, p)
+	if !l.net.batch {
+		l.net.Sched.AfterArg(l.Delay, l.arriveFn, p)
+		return
+	}
+	at := l.net.Now() + l.Delay
+	seq := l.net.Sched.ReserveSeq()
+	l.arrivals = append(l.arrivals, linkArrival{at: at, seq: seq, p: p})
+	if len(l.arrivals)-l.arrHead == 1 {
+		l.arrTimer.ResetSeq(at, seq)
+	}
 }
 
 // arrive fires one propagation delay after deliver: the packet reaches the
@@ -99,4 +129,34 @@ func (l *Link) arrive(x any) {
 		l.net.Observer.PacketDelivered(l, p)
 	}
 	l.to.HandlePacket(p)
+}
+
+// arriveHead fires when the batched FIFO's head packet reaches the
+// downstream node. It delivers exactly one packet per firing — draining
+// same-time successors inline would jump them ahead of unrelated events
+// holding intermediate seqs — and rearms the timer with the next entry's
+// reserved pair before handing the packet on, so a HandlePacket cascade
+// that reaches deliver again observes a consistent FIFO.
+func (l *Link) arriveHead() {
+	a := l.arrivals[l.arrHead]
+	l.arrivals[l.arrHead] = linkArrival{}
+	l.arrHead++
+	if l.arrHead == len(l.arrivals) {
+		l.arrivals = l.arrivals[:0]
+		l.arrHead = 0
+	} else {
+		next := l.arrivals[l.arrHead]
+		l.arrTimer.ResetSeq(next.at, next.seq)
+		// Compact once the dead prefix dominates (same policy as Port's
+		// FIFO) so a long busy period cannot grow the slice unboundedly.
+		if l.arrHead > 64 && l.arrHead*2 >= len(l.arrivals) {
+			n := copy(l.arrivals, l.arrivals[l.arrHead:])
+			l.arrivals = l.arrivals[:n]
+			l.arrHead = 0
+		}
+	}
+	if l.net.Observer != nil {
+		l.net.Observer.PacketDelivered(l, a.p)
+	}
+	l.to.HandlePacket(a.p)
 }

@@ -29,6 +29,11 @@ type Network struct {
 	// Observer, when non-nil, receives every fabric-level packet event
 	// (sends, deliveries, drops) for tracing and telemetry.
 	Observer Observer
+
+	// batch selects batched link delivery (batch.go), captured from the
+	// package default at New and overridable with SetBatchDelivery before
+	// traffic flows.
+	batch bool
 }
 
 // New creates an empty network with the given random seed.
@@ -37,8 +42,19 @@ func New(seed uint64) *Network {
 		Sched:     eventq.New(),
 		Rand:      rng.New(seed),
 		LoopPanic: true,
+		batch:     BatchDefault(),
 	}
 }
+
+// SetBatchDelivery overrides the package-default batch mode for this
+// network. Call it right after New, before any packet is in flight: links
+// consult the flag on every delivery, and arrivals already queued in a
+// link FIFO still drain correctly after a switch, but mixing modes
+// mid-run serves no purpose.
+func (n *Network) SetBatchDelivery(b bool) { n.batch = b }
+
+// BatchDelivery reports whether this network batches link deliveries.
+func (n *Network) BatchDelivery() bool { return n.batch }
 
 // Now returns the current simulated time.
 func (n *Network) Now() eventq.Time { return n.Sched.Now() }

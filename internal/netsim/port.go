@@ -80,6 +80,12 @@ type Port struct {
 	txTimer *eventq.Timer
 	txPkt   *Packet
 
+	// One-entry serialization-time cache: ports overwhelmingly transmit
+	// runs of equal-size packets (MTU data, AckSize control), and
+	// SerializationTime pays an integer division per call.
+	serSize int
+	serTime eventq.Time
+
 	// Per-class DRR state (ClassWeights mode).
 	classQ      [][]*Packet
 	classHead   []int
@@ -360,7 +366,11 @@ func (p *Port) kick() {
 	p.queuedBytes -= int64(pkt.Size)
 	p.busy = true
 	p.txPkt = pkt
-	p.txTimer.ResetAfter(SerializationTime(pkt.Size, p.link.Bandwidth))
+	if pkt.Size != p.serSize {
+		p.serSize = pkt.Size
+		p.serTime = SerializationTime(pkt.Size, p.link.Bandwidth)
+	}
+	p.txTimer.ResetAfter(p.serTime)
 }
 
 // onTxDone fires when the current packet's serialization completes: hand it

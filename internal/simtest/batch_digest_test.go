@@ -1,0 +1,35 @@
+package simtest_test
+
+import (
+	"testing"
+
+	"uno/internal/netsim"
+)
+
+// TestGoldenDigestBatchDifferential is the digest gate for batched link
+// delivery: the same scenarios must produce bit-identical fingerprints
+// with batching on and off, in one process, regardless of what UNO_BATCH
+// the suite itself runs under. (The four UNO_SCHED × UNO_BATCH CI combos
+// additionally pin both modes to the golden constants.)
+func TestGoldenDigestBatchDifferential(t *testing.T) {
+	prev := netsim.BatchDefault()
+	t.Cleanup(func() { netsim.SetBatchDefault(prev) })
+
+	netsim.SetBatchDefault(true)
+	onIncast, onLossy, onDumbbell := runIncast(t, false), runIncast(t, true), runDumbbell(t)
+	netsim.SetBatchDefault(false)
+	offIncast, offLossy, offDumbbell := runIncast(t, false), runIncast(t, true), runDumbbell(t)
+
+	if onIncast != offIncast {
+		t.Errorf("incast digest differs across batch modes: on %#016x vs off %#016x", onIncast, offIncast)
+	}
+	if onLossy != offLossy {
+		t.Errorf("lossy incast digest differs across batch modes: on %#016x vs off %#016x", onLossy, offLossy)
+	}
+	if onDumbbell != offDumbbell {
+		t.Errorf("dumbbell digest differs across batch modes: on %#016x vs off %#016x", onDumbbell, offDumbbell)
+	}
+	if onIncast != goldenIncast {
+		t.Errorf("batched incast digest %#016x does not match golden %#016x", onIncast, uint64(goldenIncast))
+	}
+}
