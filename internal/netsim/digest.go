@@ -1,29 +1,37 @@
 package netsim
 
-// This file implements the determinism-verification layer: a cheap FNV-1a
-// observer that folds every fabric-level packet event into a 64-bit run
-// fingerprint. Two runs of the same scenario with the same seed must produce
-// the same digest; any accidental nondeterminism (map iteration order in a
-// hot path, an unseeded RNG, wall-clock leakage) changes the event stream
-// and therefore the fingerprint. The harness surfaces the digest per report
-// so experiments — and CI — can assert bit-identical reruns instead of
-// hoping for them.
+// This file implements the determinism-verification layer: a cheap
+// word-folding observer that hashes every fabric-level packet event into a
+// 64-bit run fingerprint. Two runs of the same scenario with the same seed
+// must produce the same digest; any accidental nondeterminism (map
+// iteration order in a hot path, an unseeded RNG, wall-clock leakage)
+// changes the event stream and therefore the fingerprint. The harness
+// surfaces the digest per report so experiments — and CI — can assert
+// bit-identical reruns instead of hoping for them.
 
-// FNV-1a 64-bit parameters.
+// FNV-1a 64-bit parameters, reused as the seed and multiplier of the
+// word-at-a-time fold below.
 const (
 	fnvOffset64 = 14695981039346656037
 	fnvPrime64  = 1099511628211
 )
 
-// DigestFold folds a 64-bit word into an FNV-1a running hash, byte by byte
-// (little-endian). Starting from DigestSeed and folding the same word
-// sequence always yields the same digest.
+// DigestFold folds a 64-bit word into the running hash with one
+// xor-multiply-xorshift round. The fold used to be the canonical FNV-1a
+// byte loop; at one fold per word of every fabric event it was the
+// hottest single function in the simulator (~10% flat), and the digest
+// needs only run-to-run stability and collision resistance, not FNV
+// compatibility. The multiplier diffuses each word upward, the shift
+// folds the high bits back down so CombineDigests (digest-of-digests)
+// keeps mixing; the round is bijective in word for fixed h (xor with a
+// constant, odd multiplier, invertible xorshift), so two words can never
+// collide within one fold. Changing this function moves every golden
+// digest: regenerate the constants in internal/simtest in the same
+// commit.
 func DigestFold(h, word uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h ^= word & 0xff
-		h *= fnvPrime64
-		word >>= 8
-	}
+	h ^= word
+	h *= fnvPrime64
+	h ^= h >> 32
 	return h
 }
 
@@ -83,12 +91,14 @@ func (d *DigestObserver) Reset() {
 }
 
 func (d *DigestObserver) fold(kind uint64, p *Packet) {
+	// Four folds per event: time, flow, and seq need full words; kind
+	// (≤ 16 bits, drop reason included), type, and size pack into the
+	// fourth without overlap (bits 48+, 40..47, 0..31).
 	h := d.h
 	h = DigestFold(h, uint64(d.Net.Now()))
-	h = DigestFold(h, kind)
+	h = DigestFold(h, kind<<48|uint64(p.Type)<<40|uint64(uint32(p.Size)))
 	h = DigestFold(h, uint64(p.Flow))
 	h = DigestFold(h, uint64(p.Seq))
-	h = DigestFold(h, uint64(p.Type)<<32|uint64(uint32(p.Size)))
 	d.h = h
 	d.n++
 }

@@ -1,0 +1,68 @@
+package netsim
+
+import "testing"
+
+// TestDigestFoldDistinguishes: the word-at-a-time mix must avalanche
+// enough that near-identical inputs — single-bit flips anywhere in the
+// word, small counters — never collide. This is the property the golden
+// digests rely on; FNV byte-loop compatibility is not required.
+func TestDigestFoldDistinguishes(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	record := func(word, h uint64) {
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("words %#x and %#x fold to the same digest %#016x", prev, word, h)
+		}
+		seen[h] = word
+	}
+	for w := uint64(0); w < 4096; w++ {
+		record(w, DigestFold(DigestSeed, w))
+	}
+	base := uint64(0xdead_beef_cafe_f00d)
+	record(base, DigestFold(DigestSeed, base))
+	for bit := 0; bit < 64; bit++ {
+		record(base^(1<<bit), DigestFold(DigestSeed, base^(1<<bit)))
+	}
+}
+
+// TestDigestFoldOrderSensitive: folding the same words in a different
+// order must change the result, or CombineDigests could not detect
+// completion-order bugs in the parallel runner.
+func TestDigestFoldOrderSensitive(t *testing.T) {
+	ab := DigestFold(DigestFold(DigestSeed, 1), 2)
+	ba := DigestFold(DigestFold(DigestSeed, 2), 1)
+	if ab == ba {
+		t.Fatalf("fold order invisible: both yield %#016x", ab)
+	}
+	if got := CombineDigests(1, 2); got != ab {
+		t.Fatalf("CombineDigests(1,2) = %#016x, want the sequential fold %#016x", got, ab)
+	}
+}
+
+// TestDigestObserverFoldsAllEventKinds: every observer entry point moves
+// the digest and counts an event, with the drop reason distinguishing
+// otherwise identical drops.
+func TestDigestObserverFoldsAllEventKinds(t *testing.T) {
+	net := New(1)
+	d := NewDigestObserver(net)
+	p := &Packet{Flow: 3, Seq: 9, Type: Data, Size: 4096}
+	prev := d.Sum()
+	d.PacketSent(nil, p)
+	afterSent := d.Sum()
+	if afterSent == prev {
+		t.Fatal("PacketSent did not move the digest")
+	}
+	d.PacketDelivered(nil, p)
+	if d.Sum() == afterSent {
+		t.Fatal("PacketDelivered did not move the digest")
+	}
+	a := NewDigestObserver(net)
+	b := NewDigestObserver(net)
+	a.PacketDropped("q", DropTail, p)
+	b.PacketDropped("q", DropLink, p)
+	if a.Sum() == b.Sum() {
+		t.Fatal("drop reason invisible to the digest")
+	}
+	if a.Events() != 1 || d.Events() != 2 {
+		t.Fatalf("event counts %d/%d, want 1/2", a.Events(), d.Events())
+	}
+}

@@ -32,9 +32,9 @@ const bw100G = int64(100e9)
 // Golden fingerprints (regenerate by running the tests and copying the
 // "got" value from the failure output).
 const (
-	goldenIncast     = 0x62df78b6eb216877
-	goldenIncastLoss = 0x3034280bc2fe6d7b
-	goldenDumbbell   = 0x6941e37b5651e1ad
+	goldenIncast     = 0x4d93670ec72fba85
+	goldenIncastLoss = 0x66f8c7d86da93571
+	goldenDumbbell   = 0xa8468af8f8e84e62
 )
 
 // runIncast drives a 3-sender incast star (one far sender, mimicking an
