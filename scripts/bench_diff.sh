@@ -3,13 +3,32 @@
 # and print per-benchmark ns/op and B/op deltas.
 #
 #   ./scripts/bench_diff.sh BENCH_old.json BENCH_new.json
-#   BENCH_TOL=5 ./scripts/bench_diff.sh old.json new.json   # fail on >5% ns/op regression
+#   ./scripts/bench_diff.sh -tol 5 old.json new.json  # fail on >5% ns/op regression
+#   BENCH_TOL=5 ./scripts/bench_diff.sh old.json new.json   # same, via env
 set -eu
 cd "$(dirname "$0")/.."
 
+TOL="${BENCH_TOL:-0}"
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -tol)
+        [ $# -ge 2 ] || { echo "$0: -tol needs a percentage" >&2; exit 2; }
+        TOL="$2"
+        shift 2
+        ;;
+    -*)
+        echo "usage: $0 [-tol PCT] OLD.json NEW.json" >&2
+        exit 2
+        ;;
+    *)
+        break
+        ;;
+    esac
+done
+
 if [ $# -ne 2 ]; then
-    echo "usage: $0 OLD.json NEW.json" >&2
+    echo "usage: $0 [-tol PCT] OLD.json NEW.json" >&2
     exit 2
 fi
 
-exec go run ./cmd/benchdiff -tol "${BENCH_TOL:-0}" "$1" "$2"
+exec go run ./cmd/benchdiff -tol "$TOL" "$1" "$2"

@@ -24,18 +24,37 @@ go test ./...
 
 # The golden digests must be byte-identical under both event-queue
 # backends (the timing wheel is the default; the 4-ary heap stays behind
-# -sched/UNO_SCHED until retired). The full suite above already ran with
-# the default; rerun the digest suite once per explicit backend.
-echo "== golden digests, UNO_SCHED=wheel =="
-UNO_SCHED=wheel go test -count=1 ./internal/simtest/
-
-echo "== golden digests, UNO_SCHED=heap =="
-UNO_SCHED=heap go test -count=1 ./internal/simtest/
+# -sched/UNO_SCHED until retired) and with batched link delivery on and
+# off (-batch/UNO_BATCH). The full suite above already ran with the
+# defaults; rerun the digest suite once per explicit combination.
+for sched in wheel heap; do
+    for batch in on off; do
+        echo "== golden digests, UNO_SCHED=$sched UNO_BATCH=$batch =="
+        UNO_SCHED=$sched UNO_BATCH=$batch go test -count=1 ./internal/simtest/
+    done
+done
 
 echo "== go test -race ./... =="
 go test -race ./...
 
 echo "== bench smoke (scripts/bench.sh -short) =="
 ./scripts/bench.sh -short
+
+# Soft benchmark-regression gate: run the throughput benchmark once and
+# compare against the latest committed snapshot. One sample on a shared
+# CI box is noisy, so the gate only warns (the tolerance is generous and
+# a failure never fails CI); the authoritative numbers are the snapshots
+# recorded by deliberate scripts/bench.sh runs.
+LATEST="$(ls BENCH_*.json 2>/dev/null | grep -v baseline | sort -V | tail -1 || true)"
+if [ -n "$LATEST" ]; then
+    echo "== bench regression gate (soft, vs $LATEST) =="
+    FRESH="$(BENCH_FILTER='BenchmarkSimulatorThroughput$' ./scripts/bench.sh |
+        awk '/^wrote /{print $2}')"
+    if [ -n "$FRESH" ]; then
+        ./scripts/bench_diff.sh -tol "${BENCH_GATE_TOL:-25}" "$LATEST" "$FRESH" ||
+            echo "ci: WARNING: ns/op regressed >${BENCH_GATE_TOL:-25}% vs $LATEST (soft gate, not fatal)"
+        rm -f "$FRESH"
+    fi
+fi
 
 echo "ci: OK"
