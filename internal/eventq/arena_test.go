@@ -1,0 +1,73 @@
+package eventq
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// Tests for the event slab (arena.go): the layout contracts the wheel's
+// index-linked chains and the no-reincarnation handle rule depend on.
+
+// TestEventFitsOneCacheLine pins Event to exactly 64 bytes. The arena's
+// cache story rests on it: chunk arrays are 64-byte aligned (large Go
+// allocations are page-aligned), so at 64 bytes every slab slot occupies
+// exactly one cache line and a bucket-chain hop touches one line per
+// event. Growing the struct past a line silently doubles the traffic of
+// the wheel's hottest path — if this fails, shrink or repack before
+// shipping.
+func TestEventFitsOneCacheLine(t *testing.T) {
+	if got := unsafe.Sizeof(Event{}); got != 64 {
+		t.Fatalf("Event is %d bytes, want exactly 64 (one cache line per slab slot)", got)
+	}
+}
+
+// TestArenaAddressStability: *Event values handed out (Schedule handles,
+// Timer-owned events) must stay valid as the slab grows — chunks never
+// move. Force growth across several chunk boundaries and check every
+// handle still resolves to its own slab slot.
+func TestArenaAddressStability(t *testing.T) {
+	s := New()
+	const n = 3*arenaChunkSize + 17
+	handles := make([]*Event, 0, n)
+	for i := 0; i < n; i++ {
+		handles = append(handles, s.Schedule(Time(i+1), func() {}))
+	}
+	if got := s.arena.len(); got < n {
+		t.Fatalf("slab allocated %d events, want >= %d", got, n)
+	}
+	for i, h := range handles {
+		if got := s.arena.at(h.self); got != h {
+			t.Fatalf("handle %d: slab index %d resolves to %p, handle is %p (chunk moved?)",
+				i, h.self, got, h)
+		}
+		if h.at != Time(i+1) {
+			t.Fatalf("handle %d: deadline corrupted to %v", i, h.at)
+		}
+	}
+	s.Run()
+}
+
+// TestArenaFreeListReuse: recycled fire-and-forget events must reuse slab
+// slots instead of growing the slab — the property that keeps the
+// steady-state working set dense (and allocation-free).
+func TestArenaFreeListReuse(t *testing.T) {
+	s := New()
+	fn := func(any) {}
+	for i := 0; i < 32; i++ {
+		s.AfterArg(1, fn, nil)
+	}
+	s.Run()
+	grown := s.arena.len()
+	if grown == 0 {
+		t.Fatal("warmup allocated no slab slots")
+	}
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 32; i++ {
+			s.AfterArg(1, fn, nil)
+		}
+		s.Run()
+	}
+	if got := s.arena.len(); got != grown {
+		t.Fatalf("slab grew from %d to %d slots under pure recycling", grown, got)
+	}
+}

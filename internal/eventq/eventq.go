@@ -86,11 +86,13 @@ type Event struct {
 	at  Time
 	seq uint64
 
-	// Exactly one of fn/argfn is set. argfn+arg is the closure-free form:
-	// the callback is bound once (e.g. a link's delivery method) and the
-	// per-schedule payload rides in arg, so no closure is allocated per
-	// packet.
-	fn    func()
+	// The callback, in the closure-free form: argfn is bound once (e.g. a
+	// link's delivery method) and the per-schedule payload rides in arg, so
+	// no closure is allocated per packet. Plain func() callbacks
+	// (Schedule, Timer) ride the same two words via callFunc with the
+	// function value as arg — func values are pointer-shaped, so the `any`
+	// conversion does not allocate, and dropping the separate func() field
+	// packs Event to exactly one 64-byte cache line in the slab.
 	argfn func(any)
 	arg   any
 
@@ -98,15 +100,22 @@ type Event struct {
 	cancelled bool
 	recycle   bool // return to the free list after popping (no handle exists)
 
-	// Wheel linkage: the bucket chain the event is on (nil when not
-	// wheel-queued) and its neighbors. An event is in at most one place:
-	// b != nil (wheel bucket) xor index >= 0 (heap or wheel overflow).
-	b          *wbucket
-	next, prev *Event
+	// Arena linkage (arena.go): self is this event's slab index, fixed at
+	// allocation. bucket is the packed wheel bucket id
+	// (level<<wheelLevelBits | slot; noBucket when not wheel-queued), and
+	// next/prev chain level ≥1 buckets as slab indices (unused at level 0,
+	// where buckets keep sorted key/index arrays instead — wheel.go). An
+	// event is in at most one place: bucket != noBucket (wheel bucket) xor
+	// index >= 0 (heap or wheel overflow). Index links instead of pointers
+	// keep chain walks inside the slab's cache lines and make link stores
+	// barrier-free.
+	self       int32
+	bucket     int32
+	next, prev int32
 }
 
 // queued reports whether the event is in any queue structure.
-func (e *Event) queued() bool { return e.b != nil || e.index >= 0 }
+func (e *Event) queued() bool { return e.bucket != noBucket || e.index >= 0 }
 
 // At returns the time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
@@ -117,6 +126,12 @@ func (e *Event) Cancel() { e.cancelled = true }
 
 // Cancelled reports whether Cancel was called.
 func (e *Event) Cancelled() bool { return e.cancelled }
+
+// callFunc adapts a plain func() callback (Schedule, Timer) to the
+// argfn+arg calling convention, so Event needs no second callback field.
+// The assertion is exact-type and branch-predictable; the cost is a couple
+// of instructions per firing against eight bytes off every slab slot.
+func callFunc(a any) { a.(func())() }
 
 // eventLess orders events by (time, insertion sequence).
 func eventLess(a, b *Event) bool {
@@ -135,7 +150,8 @@ type Scheduler struct {
 	seq      uint64
 	executed uint64
 	stopped  bool
-	free     []*Event // recycled fire-and-forget events
+	arena    arena   // slab holding every Event of this scheduler
+	free     []int32 // slab indices of recycled fire-and-forget events
 
 	// Exactly one backend is active: w when non-nil (Wheel kind),
 	// otherwise the heap.
@@ -149,10 +165,11 @@ func New() *Scheduler { return NewKind(Default()) }
 // NewKind returns a scheduler with an explicit queue backend. Use New()
 // unless you are cross-checking backends (differential tests, CI).
 func NewKind(k Kind) *Scheduler {
+	s := &Scheduler{}
 	if k == Wheel {
-		return &Scheduler{w: newWheel()}
+		s.w = newWheel(&s.arena)
 	}
-	return &Scheduler{}
+	return s
 }
 
 // Kind returns the scheduler's queue backend kind.
@@ -247,25 +264,26 @@ func (s *Scheduler) remove(e *Event) {
 
 // ---- event allocation ----
 
-// alloc returns a reset Event from the free list, or a fresh one.
+// alloc returns a reset Event from the free list, or a fresh slab slot.
+// LIFO reuse keeps the steady-state working set on the same few slab cache
+// lines.
 func (s *Scheduler) alloc() *Event {
 	if k := len(s.free) - 1; k >= 0 {
-		e := s.free[k]
-		s.free[k] = nil
+		e := s.arena.at(s.free[k])
 		s.free = s.free[:k]
 		return e
 	}
-	return &Event{index: -1}
+	return s.arena.new()
 }
 
 // recycleEvent resets e and returns it to the free list. Only events without
 // an outstanding handle may be recycled. Popping already restored the queue
-// linkage fields (index == -1, b/next/prev nil), so only the callback and
-// flag fields need clearing — cheaper than rewriting the whole struct.
+// membership fields (index == -1, bucket == noBucket), so only the callback
+// and flag fields need clearing — cheaper than rewriting the whole struct.
 func (s *Scheduler) recycleEvent(e *Event) {
-	e.fn, e.argfn, e.arg = nil, nil, nil
+	e.argfn, e.arg = nil, nil
 	e.cancelled, e.recycle = false, false
-	s.free = append(s.free, e)
+	s.free = append(s.free, e.self)
 }
 
 // ---- scheduling ----
@@ -286,7 +304,7 @@ func (s *Scheduler) checkTime(at Time) {
 func (s *Scheduler) Schedule(at Time, fn func()) *Event {
 	s.checkTime(at)
 	e := s.alloc()
-	e.at, e.seq, e.fn = at, s.seq, fn
+	e.at, e.seq, e.argfn, e.arg = at, s.seq, callFunc, fn
 	s.seq++
 	s.push(e)
 	return e
@@ -344,19 +362,11 @@ func (s *Scheduler) Stop() { s.stopped = true }
 func (s *Scheduler) runEvent(e *Event) {
 	s.now = e.at
 	s.executed++
-	if e.argfn != nil {
-		fn, arg := e.argfn, e.arg
-		if e.recycle {
-			s.recycleEvent(e)
-		}
-		fn(arg)
-		return
-	}
-	fn := e.fn
+	fn, arg := e.argfn, e.arg
 	if e.recycle {
 		s.recycleEvent(e)
 	}
-	fn()
+	fn(arg)
 }
 
 // RunUntil executes events in order until the queue is empty or the next
@@ -426,15 +436,16 @@ func (s *Scheduler) Step() bool {
 // runs, so it may Reset itself to build a periodic tick.
 type Timer struct {
 	s *Scheduler
-	e Event // intrusive: &t.e lives directly in the heap
+	e *Event // owned for the timer's life; lives in the scheduler's slab
 }
 
 // NewTimer binds fn to a new reusable timer. The timer starts idle; arm it
-// with Reset or ResetAfter.
+// with Reset or ResetAfter. The timer's Event comes from the scheduler's
+// arena (it must: wheel bucket chains link events by slab index) and is
+// never recycled.
 func (s *Scheduler) NewTimer(fn func()) *Timer {
-	t := &Timer{s: s}
-	t.e.fn = fn
-	t.e.index = -1
+	t := &Timer{s: s, e: s.alloc()}
+	t.e.argfn, t.e.arg = callFunc, fn
 	return t
 }
 
@@ -445,12 +456,12 @@ func (s *Scheduler) NewTimer(fn func()) *Timer {
 func (t *Timer) Reset(at Time) {
 	t.s.checkTime(at)
 	if t.e.queued() {
-		t.s.remove(&t.e)
+		t.s.remove(t.e)
 	}
 	t.e.at = at
 	t.e.seq = t.s.seq
 	t.s.seq++
-	t.s.push(&t.e)
+	t.s.push(t.e)
 }
 
 // ResetAfter (re)schedules the timer to fire after delay d.
@@ -473,11 +484,11 @@ func (t *Timer) ResetAfter(d Time) {
 func (t *Timer) ResetSeq(at Time, seq uint64) {
 	t.s.checkTime(at)
 	if t.e.queued() {
-		t.s.remove(&t.e)
+		t.s.remove(t.e)
 	}
 	t.e.at = at
 	t.e.seq = seq
-	t.s.push(&t.e)
+	t.s.push(t.e)
 }
 
 // Cancel disarms the timer if pending: the event is removed from the heap
@@ -485,7 +496,7 @@ func (t *Timer) ResetSeq(at Time, seq uint64) {
 // resurrect the cancelled firing. Cancelling an idle timer is a no-op.
 func (t *Timer) Cancel() {
 	if t.e.queued() {
-		t.s.remove(&t.e)
+		t.s.remove(t.e)
 	}
 }
 

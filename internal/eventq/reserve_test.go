@@ -129,3 +129,161 @@ func TestReserveSeqFIFOEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// boundaryDelay draws a delay concentrated on exact wheel level boundaries
+// (±1 tick) and, for lvl == wheelLevels, on deadlines past the overflow
+// horizon — the placements where bucket math and overflow migration are
+// most fragile. The draw count is fixed, so every mode of a differential
+// run consumes the RNG identically.
+func boundaryDelay(r *rng.Rand) Time {
+	lvl := r.Intn(wheelLevels + 1)
+	span := Time(1) << wheelShift(lvl)
+	mult := Time(1 + r.Intn(3))
+	jitter := Time(r.Intn(3) - 1)
+	return span*mult + jitter
+}
+
+// TestReserveSeqBoundaryDifferential drives randomized interleavings of
+// reserve / rearm / cancel through deadlines pinned to wheel level
+// boundaries and across the overflow-heap horizon, in two modes: eager
+// per-item ScheduleArg, and a deferred-insert pending list served by one
+// ResetSeq timer (the PR-4 batching pattern, here with out-of-order offers
+// and head cancellation, which the link FIFO never produces). All four
+// (backend, mode) combinations must record the identical fire sequence;
+// heap-eager is the oracle.
+func TestReserveSeqBoundaryDifferential(t *testing.T) {
+	type entry struct {
+		at        Time
+		seq       uint64
+		id        int
+		cancelled bool
+		fired     bool
+	}
+	run := func(k Kind, seed uint64, batched bool) []firing {
+		r := rng.New(seed)
+		s := NewKind(k)
+		var all []*entry     // creation order: deterministic cancel picks
+		var pending []*entry // batched: sorted by (at, seq); head is armed
+		var fired []firing
+
+		var tm *Timer
+		tm = s.NewTimer(func() {
+			head := pending[0]
+			pending = pending[1:]
+			// Rearm for the next entry before recording, so interleaved
+			// same-time events contest the order exactly as eager inserts.
+			if len(pending) > 0 {
+				tm.ResetSeq(pending[0].at, pending[0].seq)
+			}
+			head.fired = true
+			if !head.cancelled {
+				fired = append(fired, firing{s.Now(), head.id})
+			}
+		})
+		deliver := func(a any) {
+			e := a.(*entry)
+			e.fired = true
+			if !e.cancelled {
+				fired = append(fired, firing{s.Now(), e.id})
+			}
+		}
+		insertPending := func(e *entry) {
+			i := len(pending)
+			for i > 0 && (pending[i-1].at > e.at ||
+				(pending[i-1].at == e.at && pending[i-1].seq > e.seq)) {
+				i--
+			}
+			pending = append(pending, nil)
+			copy(pending[i+1:], pending[i:])
+			pending[i] = e
+			if i == 0 { // new minimum: rearm (possibly while pending)
+				tm.ResetSeq(e.at, e.seq)
+			}
+		}
+
+		nextID, noiseID := 0, 1<<20
+		for op := 0; op < 1500; op++ {
+			switch r.Intn(6) {
+			case 0, 1, 2: // offer a delivery on a boundary-heavy deadline
+				e := &entry{at: s.Now() + boundaryDelay(r), id: nextID}
+				nextID++
+				all = append(all, e)
+				if batched {
+					e.seq = s.ReserveSeq()
+					insertPending(e)
+				} else {
+					s.ScheduleArg(e.at, deliver, e)
+				}
+			case 3: // cancel a random not-yet-fired entry
+				var elig []*entry
+				for _, e := range all {
+					if !e.fired && !e.cancelled {
+						elig = append(elig, e)
+					}
+				}
+				if len(elig) == 0 {
+					continue
+				}
+				e := elig[r.Intn(len(elig))]
+				e.cancelled = true
+				if batched {
+					for i, p := range pending {
+						if p != e {
+							continue
+						}
+						pending = append(pending[:i], pending[i+1:]...)
+						if i == 0 { // cancelled the armed head
+							if len(pending) > 0 {
+								tm.ResetSeq(pending[0].at, pending[0].seq)
+							} else {
+								tm.Cancel()
+							}
+						}
+						break
+					}
+				}
+			case 4: // same-time noise contesting tie order
+				id := noiseID
+				noiseID++
+				s.Schedule(s.Now()+boundaryDelay(r), func() {
+					fired = append(fired, firing{s.Now(), id})
+				})
+			default: // advance the clock, landing on boundaries
+				s.RunUntil(s.Now() + boundaryDelay(r))
+			}
+		}
+		s.Run()
+		if s.Pending() != 0 {
+			t.Fatalf("kind %v seed %d batched=%v: %d events pending after drain",
+				k, seed, batched, s.Pending())
+		}
+		if batched && len(pending) != 0 {
+			t.Fatalf("kind %v seed %d: %d entries stranded in the pending list", k, seed, len(pending))
+		}
+		return fired
+	}
+	for _, seed := range []uint64{3, 11, 42, 777, 271828} {
+		oracle := run(Heap, seed, false)
+		if len(oracle) == 0 {
+			t.Fatalf("seed %d: vacuous script", seed)
+		}
+		for _, k := range []Kind{Heap, Wheel} {
+			for _, batched := range []bool{false, true} {
+				if k == Heap && !batched {
+					continue
+				}
+				got := run(k, seed, batched)
+				if len(got) != len(oracle) {
+					t.Fatalf("seed %d kind %v batched=%v: fired %d, oracle %d",
+						seed, k, batched, len(got), len(oracle))
+				}
+				for i := range oracle {
+					if got[i] != oracle[i] {
+						t.Fatalf("seed %d kind %v batched=%v: firing %d differs: got (at=%d id=%d), oracle (at=%d id=%d)",
+							seed, k, batched, i, got[i].at, got[i].id, oracle[i].at, oracle[i].id)
+					}
+				}
+			}
+		}
+	}
+}

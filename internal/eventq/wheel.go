@@ -28,6 +28,20 @@ import "math/bits"
 // Events beyond the top window go to an overflow 4-ary heap and migrate
 // into the wheel when the clock reaches them (see popKnown/migrate).
 //
+// Storage. Buckets are not pointer lists: every event lives in the
+// scheduler's slab (arena.go) and buckets refer to events by int32 slab
+// index. Level ≥1 buckets are doubly-linked chains whose links ride in
+// Event.next/prev (as indices); level-0 buckets — where every pop and
+// every cascade landing happens — are dense parallel (sort key, index)
+// arrays, so the hottest paths scan contiguous words and pop by bumping a
+// head offset without touching event linkage at all. The insert/cascade
+// path — the hottest block in the post-batch profile, and cache-miss
+// bound rather than algorithmic — therefore walks a few dense slab chunks
+// instead of chasing *Event pointers across scattered heap lines, and
+// link stores skip the GC write barrier. The hashed-wheel O(1) bound
+// (Varghese & Lauer) only materializes when bucket traversal stays on few
+// cache lines; the slab-plus-array layout is what buys that.
+//
 // Buckets index by absolute time: slot = (at >> levelShift) & slotMask.
 // The invariant is that an event lives at the lowest level whose current
 // window (the aligned span containing pos that one bucket of the level
@@ -36,8 +50,8 @@ import "math/bits"
 // cascades down to lower levels.
 //
 // Order preservation — the digest gate. The engine's contract is exact
-// (time, seq) total order. Level-0 buckets keep their chains sorted by
-// (time, seq) (insertion scans from the tail, O(1) for the monotone
+// (time, seq) total order. Level-0 buckets keep their index arrays sorted
+// by (time, seq) (insertion scans from the tail, O(1) for the monotone
 // schedules simulations produce); higher-level buckets are unordered FIFO
 // chains whose events are re-placed one at a time on cascade, so order is
 // re-established at level 0 before anything fires. Overflow ties resolve
@@ -52,66 +66,58 @@ const (
 	wheelLevels    = 6
 )
 
+// noBucket is Event.bucket's "not wheel-queued" sentinel.
+const noBucket = int32(-1)
+
 // wheelShift returns the bit offset of level lvl's slot index within an
 // absolute time. Level wheelLevels (one past the top) is the horizon shift.
 func wheelShift(lvl int) uint {
 	return wheelGranBits + uint(lvl)*wheelLevelBits
 }
 
-// wbucket is one wheel bucket: a doubly-linked chain of events. level and
-// slot are fixed at wheel construction so unlinking can clear the occupancy
-// bit without searching.
+// wbucket is one level ≥1 wheel bucket: a doubly-linked chain of slab
+// indices whose links ride in Event.next/prev. Level ≥1 buckets hold
+// around one event each under simulation load, so a chain — two stores
+// to link, two to unlink, no per-bucket array bookkeeping — is the
+// cheapest shape for them; dense arrays only pay at level 0, where every
+// pop happens. Level and slot are not stored — they are recovered from
+// the packed bucket id an in-bucket event carries (Event.bucket).
 type wbucket struct {
-	head, tail *Event
-	level      int32
-	slot       int32
+	head, tail int32 // slab indices; noEvent when the bucket is empty
 }
 
-// append links e at the tail (higher levels: unordered, sorted on cascade).
-func (b *wbucket) append(e *Event) {
-	e.prev = b.tail
-	e.next = nil
-	if b.tail != nil {
-		b.tail.next = e
-	} else {
-		b.head = e
-	}
-	b.tail = e
+// l0bucket is one level-0 bucket: two parallel dense arrays — sort keys
+// and slab indices — sorted by (time, seq) and consumed from head. Level 0
+// is where every event is popped from (cascades re-sort everything down
+// before it fires), so its bucket shape is the hottest: the pop path is a
+// head increment with zero event-field writes, and the sorted-position
+// scan reads a contiguous []uint64 without touching event memory at all.
+//
+// The key packs (time, seq) into 64 bits: the level invariant puts an
+// event at level 0 only while its deadline is inside the current aligned
+// level-1-bucket window, so all events in one bucket agree on every
+// deadline bit above wheelGranBits and the low wheelGranBits bits order
+// them; seq takes the remaining 53 bits (a simulation would need ~10^15
+// events to overflow them — comfortably unreachable).
+type l0bucket struct {
+	keys []uint64 // l0key(e), sorted ascending in [head:]
+	idx  []int32  // slab index of the event carrying keys[i]
+	head int      // consumed prefix; idx[head] is the bucket minimum
 }
 
-// insertSorted links e in (time, seq) order, scanning from the tail: the
-// common case — monotone nondecreasing schedules — appends in O(1).
-func (b *wbucket) insertSorted(e *Event) {
-	p := b.tail
-	for p != nil && eventLess(e, p) {
-		p = p.prev
-	}
-	if p == nil { // new head
-		e.prev = nil
-		e.next = b.head
-		if b.head != nil {
-			b.head.prev = e
-		} else {
-			b.tail = e
-		}
-		b.head = e
-		return
-	}
-	e.prev = p
-	e.next = p.next
-	if p.next != nil {
-		p.next.prev = e
-	} else {
-		b.tail = e
-	}
-	p.next = e
+// l0key packs e's (time, seq) into one comparable word (see l0bucket).
+func l0key(e *Event) uint64 {
+	return (uint64(e.at)&(1<<wheelGranBits-1))<<(64-wheelGranBits) | e.seq
 }
 
 // wheel is the hierarchical timing-wheel queue backing a Wheel-kind
-// Scheduler. All storage is fixed at construction; steady-state operation
-// allocates nothing (the overflow heap's slice grows amortized and is
+// Scheduler. All bucket storage is fixed at construction and events live
+// in the scheduler's shared slab; steady-state operation allocates nothing
+// (level-0 arrays and the overflow heap's slice grow amortized and are
 // reused).
 type wheel struct {
+	a *arena // the owning scheduler's event slab (bucket links index it)
+
 	// pos is the wheel's clock: the deadline of the last popped event (or
 	// the zero start). Every queued event is at pos or later, and every
 	// future insert is too, so bucket placement relative to pos is stable.
@@ -120,19 +126,75 @@ type wheel struct {
 	pos      Time
 	count    int
 	occupied [wheelLevels]uint64 // per-level bitmap of non-empty slots
-	levels   [wheelLevels][wheelSlots]wbucket
+	l0       [wheelSlots]l0bucket
+	chains   [wheelLevels][wheelSlots]wbucket // levels ≥ 1 ([0] unused)
 	overflow eventHeap // events past the top-level window, min-heap order
 }
 
-func newWheel() *wheel {
-	w := &wheel{}
-	for lvl := range w.levels {
-		for slot := range w.levels[lvl] {
-			b := &w.levels[lvl][slot]
-			b.level, b.slot = int32(lvl), int32(slot)
+func newWheel(a *arena) *wheel {
+	w := &wheel{a: a}
+	// Pre-size the level-0 arrays by carving capacity windows out of two
+	// shared backing slabs: a cold slot growing its arrays mid-run would
+	// otherwise count against the steady-state allocation budgets. A
+	// bucket outgrowing its window reallocates once, amortized, and keeps
+	// the larger array for the wheel's lifetime.
+	const l0cap = 16
+	keys := make([]uint64, wheelSlots*l0cap)
+	idx0 := make([]int32, wheelSlots*l0cap)
+	for s := range w.l0 {
+		w.l0[s].keys = keys[s*l0cap : s*l0cap : (s+1)*l0cap]
+		w.l0[s].idx = idx0[s*l0cap : s*l0cap : (s+1)*l0cap]
+	}
+	for lvl := 1; lvl < wheelLevels; lvl++ {
+		for slot := range w.chains[lvl] {
+			w.chains[lvl][slot] = wbucket{head: noEvent, tail: noEvent}
 		}
 	}
 	return w
+}
+
+// append links e at the tail of b (level ≥1: unordered, sorted at level 0
+// on cascade). c is the caller-hoisted chunk table (see eventChunks).
+func (w *wheel) append(c eventChunks, b *wbucket, e *Event) {
+	e.prev = b.tail
+	e.next = noEvent
+	if b.tail != noEvent {
+		c.at(b.tail).next = e.self
+	} else {
+		b.head = e.self
+	}
+	b.tail = e.self
+}
+
+// placeL0 inserts entry (key, self) with deadline at into its level-0
+// bucket in (time, seq) order, returning the packed bucket id. The
+// position scan compares packed keys in a dense array from the tail — the
+// common case, monotone nondecreasing schedules, appends after one
+// comparison — and out-of-order arrivals shift a few words with memmoves
+// instead of relinking a chain. No event memory is touched.
+func (w *wheel) placeL0(at Time, key uint64, self int32) int32 {
+	slot := int(uint64(at)>>wheelGranBits) & wheelSlotMask
+	b := &w.l0[slot]
+	n := len(b.keys)
+	if n == b.head || key >= b.keys[n-1] {
+		// Append at the tail — the monotone common case — without the
+		// memmove machinery of the insert-in-the-middle path.
+		b.keys = append(b.keys, key)
+		b.idx = append(b.idx, self)
+	} else {
+		i := n - 1
+		for i > b.head && key < b.keys[i-1] {
+			i--
+		}
+		b.keys = append(b.keys, 0)
+		copy(b.keys[i+1:], b.keys[i:])
+		b.keys[i] = key
+		b.idx = append(b.idx, 0)
+		copy(b.idx[i+1:], b.idx[i:])
+		b.idx[i] = self
+	}
+	w.occupied[0] |= 1 << uint(slot)
+	return int32(slot)
 }
 
 // levelFor returns the wheel level whose current window contains time t
@@ -146,55 +208,98 @@ func (w *wheel) levelFor(t Time) int {
 	return (h - wheelGranBits - 1) / wheelLevelBits
 }
 
-// place links e into the bucket for its deadline at the given level, which
-// must be levelFor(e.at) < wheelLevels.
-func (w *wheel) place(e *Event, lvl int) {
-	slot := int(uint64(e.at)>>wheelShift(lvl)) & wheelSlotMask
-	b := &w.levels[lvl][slot]
+// place puts e into the bucket for its deadline at the given level, which
+// must be levelFor(e.at) < wheelLevels, and records the bucket on e. c is
+// the caller-hoisted chunk table.
+func (w *wheel) place(c eventChunks, e *Event, lvl int) {
 	if lvl == 0 {
-		b.insertSorted(e)
-	} else {
-		b.append(e)
+		e.bucket = w.placeL0(e.at, l0key(e), e.self)
+		return
 	}
+	slot := int(uint64(e.at)>>wheelShift(lvl)) & wheelSlotMask
+	w.append(c, &w.chains[lvl][slot], e)
 	w.occupied[lvl] |= 1 << uint(slot)
-	e.b = b
+	e.bucket = int32(lvl<<wheelLevelBits | slot)
 }
 
 // insert enqueues e.
 func (w *wheel) insert(e *Event) {
 	if lvl := w.levelFor(e.at); lvl < wheelLevels {
-		w.place(e, lvl)
+		w.place(w.a.chunks, e, lvl)
 	} else {
 		w.overflow.push(e)
 	}
 	w.count++
 }
 
-// unlink detaches e from its bucket chain, clearing the occupancy bit if
-// the bucket empties.
+// unlink detaches e from its bucket (level-0 sorted array or level ≥1
+// chain), clearing the occupancy bit if the bucket empties.
 func (w *wheel) unlink(e *Event) {
-	b := e.b
-	if e.prev != nil {
-		e.prev.next = e.next
+	if e.bucket < wheelSlots { // level 0
+		w.unlinkL0(e)
+		return
+	}
+	c := w.a.chunks
+	lvl := int(e.bucket) >> wheelLevelBits
+	slot := int(e.bucket) & wheelSlotMask
+	b := &w.chains[lvl][slot]
+	if e.prev != noEvent {
+		c.at(e.prev).next = e.next
 	} else {
 		b.head = e.next
 	}
-	if e.next != nil {
-		e.next.prev = e.prev
+	if e.next != noEvent {
+		c.at(e.next).prev = e.prev
 	} else {
 		b.tail = e.prev
 	}
-	if b.head == nil {
-		w.occupied[b.level] &^= 1 << uint(b.slot)
+	if b.head == noEvent {
+		w.occupied[lvl] &^= 1 << uint(slot)
 	}
-	e.b, e.prev, e.next = nil, nil, nil
+	e.bucket, e.prev, e.next = noBucket, noEvent, noEvent
+}
+
+// unlinkL0 removes e from its level-0 bucket. The overwhelmingly common
+// case — popping the bucket minimum — is a head increment with no event
+// field written but e.bucket itself; removal from the middle
+// (Timer.Reset/Cancel before firing) shifts the dense index array down.
+func (w *wheel) unlinkL0(e *Event) {
+	slot := int(e.bucket)
+	b := &w.l0[slot]
+	if b.idx[b.head] == e.self {
+		b.head++
+	} else {
+		for i := b.head + 1; i < len(b.idx); i++ {
+			if b.idx[i] == e.self {
+				copy(b.keys[i:], b.keys[i+1:])
+				copy(b.idx[i:], b.idx[i+1:])
+				b.keys = b.keys[:len(b.keys)-1]
+				b.idx = b.idx[:len(b.idx)-1]
+				break
+			}
+		}
+	}
+	switch {
+	case b.head == len(b.idx):
+		b.keys = b.keys[:0]
+		b.idx = b.idx[:0]
+		b.head = 0
+		w.occupied[0] &^= 1 << uint(slot)
+	case b.head >= 48:
+		// Bound the consumed prefix: a bucket fed and drained at the same
+		// deadline would otherwise grow its arrays one slot per pop.
+		b.keys = b.keys[:copy(b.keys, b.keys[b.head:])]
+		b.idx = b.idx[:copy(b.idx, b.idx[b.head:])]
+		b.head = 0
+	}
+	e.bucket = noBucket
 }
 
 // remove deletes e wherever it is queued (bucket chain or overflow heap);
 // no-op if e is not queued. Used by Timer.Reset/Cancel.
 func (w *wheel) remove(e *Event) {
 	switch {
-	case e.b != nil:
+	case e.bucket != noBucket:
 		w.unlink(e)
 	case e.index >= 0:
 		w.overflow.remove(e)
@@ -225,7 +330,8 @@ func (w *wheel) peekUntil(deadline Time) *Event {
 			return ov
 		}
 		if lvl == 0 {
-			cand := w.levels[0][slot].head
+			b := &w.l0[slot]
+			cand := w.a.at(b.idx[b.head])
 			if ov != nil && eventLess(ov, cand) {
 				cand = ov
 			}
@@ -287,23 +393,25 @@ func (w *wheel) advanceTo(t Time) {
 	if top >= wheelLevels {
 		top = wheelLevels - 1
 	}
+	c := w.a.chunks
 	for lvl := top; lvl >= 1; lvl-- {
 		slot := int(uint64(t)>>wheelShift(lvl)) & wheelSlotMask
 		if w.occupied[lvl]&(1<<uint(slot)) == 0 {
 			continue
 		}
-		b := &w.levels[lvl][slot]
-		e := b.head
-		b.head, b.tail = nil, nil
+		b := &w.chains[lvl][slot]
+		ei := b.head
+		b.head, b.tail = noEvent, noEvent
 		w.occupied[lvl] &^= 1 << uint(slot)
-		for e != nil {
-			next := e.next
-			e.b, e.prev, e.next = nil, nil, nil
+		for ei != noEvent {
+			e := c.at(ei)
+			ei = e.next
+			// No need to reset prev/next: level ≥1 re-placement overwrites
+			// them, level 0 ignores them, and place updates bucket.
 			// Re-placement relative to the new pos always lands below lvl
 			// (the event shares pos's high bits down to this bucket) and
 			// never in a current slot, so top-down cascading terminates.
-			w.place(e, w.levelFor(e.at))
-			e = next
+			w.place(c, e, w.levelFor(e.at))
 		}
 	}
 }
@@ -315,10 +423,11 @@ func (w *wheel) advanceTo(t Time) {
 // operations are O(1) again.
 func (w *wheel) popKnown(e *Event) {
 	w.advanceTo(e.at)
-	if e.b != nil {
-		// advanceTo(e.at) cascaded e's bucket chain down to level 0 (its
+	if e.bucket != noBucket {
+		// advanceTo(e.at) cascaded e's bucket down to level 0 (its
 		// deadline equals pos, which is level 0 by definition), where the
-		// sorted chain makes the global minimum the head; unlink is O(1).
+		// sorted index array makes the global minimum the head; unlink is
+		// a head increment.
 		w.unlink(e)
 	} else {
 		w.overflow.popMin()
@@ -329,11 +438,12 @@ func (w *wheel) popKnown(e *Event) {
 
 // migrate drains overflow events that now fall inside the top-level window
 // into the wheel. Heap pops come out in (time, seq) order, and placement
-// keeps level-0 chains sorted, so migration preserves the total order.
+// keeps level-0 buckets sorted, so migration preserves the total order.
 func (w *wheel) migrate() {
 	horizon := Time((uint64(w.pos)>>wheelShift(wheelLevels) + 1) << wheelShift(wheelLevels))
+	c := w.a.chunks
 	for len(w.overflow) > 0 && w.overflow[0].at < horizon {
 		e := w.overflow.popMin()
-		w.place(e, w.levelFor(e.at))
+		w.place(c, e, w.levelFor(e.at))
 	}
 }

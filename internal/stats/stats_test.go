@@ -266,6 +266,34 @@ func TestTimeSeriesBinning(t *testing.T) {
 	}
 }
 
+// TestTimeSeriesMaxAllNegative: a bin whose observations are all negative
+// must report the largest (closest to zero) of them, not the
+// zero-initialized slab value. Written against the pre-fix behavior, where
+// Max(0) came back 0.
+func TestTimeSeriesMaxAllNegative(t *testing.T) {
+	ts := NewTimeSeries(0, eventq.Microsecond, 4)
+	ts.Observe(0, -7)
+	ts.Observe(1, -3)
+	ts.Observe(2, -12)
+	if got := ts.Max(0); got != -3 {
+		t.Fatalf("all-negative bin max = %v, want -3", got)
+	}
+	// A later positive observation still wins.
+	ts.Observe(3, 0.5)
+	if got := ts.Max(0); got != 0.5 {
+		t.Fatalf("mixed-sign bin max = %v, want 0.5", got)
+	}
+	// Untouched bins keep reporting 0, and AddTo (no observation count)
+	// does not seed a max.
+	ts.AddTo(eventq.Microsecond, -99)
+	if got := ts.Max(1); got != 0 {
+		t.Fatalf("AddTo-only bin max = %v, want 0", got)
+	}
+	if got := ts.Max(2); got != 0 {
+		t.Fatalf("empty bin max = %v, want 0", got)
+	}
+}
+
 func TestTimeSeriesRate(t *testing.T) {
 	ts := NewTimeSeries(0, eventq.Millisecond, 4)
 	// 125 kB in a 1 ms bin = 1 Gb/s.

@@ -42,10 +42,13 @@ func (ts *TimeSeries) binFor(t eventq.Time) int {
 func (ts *TimeSeries) Observe(t eventq.Time, v float64) {
 	b := ts.binFor(t)
 	ts.sum[b] += v
-	ts.count[b]++
-	if v > ts.max[b] {
+	// The first observation seeds the bin's max: comparing against the
+	// zero-initialized slab would report 0 for a bin whose observations
+	// are all negative.
+	if ts.count[b] == 0 || v > ts.max[b] {
 		ts.max[b] = v
 	}
+	ts.count[b]++
 }
 
 // AddTo adds v into the bin containing t without bumping the observation
@@ -76,8 +79,14 @@ func (ts *TimeSeries) Mean(b int) float64 {
 	return ts.sum[b] / float64(ts.count[b])
 }
 
-// Max returns the largest observation in bin b.
-func (ts *TimeSeries) Max(b int) float64 { return ts.max[b] }
+// Max returns the largest observation in bin b (0 if the bin has no
+// observations, matching Mean).
+func (ts *TimeSeries) Max(b int) float64 {
+	if ts.count[b] == 0 {
+		return 0
+	}
+	return ts.max[b]
+}
 
 // RateBps interprets bin b's sum as bytes and returns the average rate in
 // bits per second over the bin.

@@ -304,7 +304,8 @@ func (c *Conn) transmit(seq int64) {
 
 // ---- RTO ----
 
-// rto returns the current retransmission timeout with backoff applied.
+// rto returns the current retransmission timeout with backoff applied,
+// clamped to [MinRTO, MaxRTO].
 func (c *Conn) rto() eventq.Time {
 	base := c.params.MinRTO
 	if c.hasRTT {
@@ -312,11 +313,20 @@ func (c *Conn) rto() eventq.Time {
 			base = est
 		}
 	}
+	// Clamp the estimate before the backoff loop: doubling first and
+	// comparing after could wrap a large srtt+4*rttvar estimate negative
+	// (int64 picoseconds) before the guard ever tripped. Inside the loop,
+	// bail as soon as one more doubling would reach the cap — base then
+	// never exceeds MaxRTO/2+ε, so the multiply cannot overflow.
+	max := c.params.MaxRTO
+	if base >= max {
+		return max
+	}
 	for i := uint(0); i < c.rtoBackoff; i++ {
-		base *= 2
-		if base >= c.params.MaxRTO {
-			return c.params.MaxRTO
+		if base > max/2 {
+			return max
 		}
+		base *= 2
 	}
 	return base
 }

@@ -8,6 +8,7 @@ package uno_test
 // internal/netsim; these show the cost per operation.
 
 import (
+	"fmt"
 	"testing"
 
 	"uno/internal/baselines"
@@ -43,6 +44,51 @@ func BenchmarkEventqPushPop(b *testing.B) {
 				s.Run()
 			}
 		})
+	}
+}
+
+// BenchmarkWheelInsert isolates the wheel's insert/cascade/pop path — the
+// largest block in the post-batch profile and the target of the arena
+// re-layout: each iteration schedules one recycled event into a sustained
+// fixed-depth queue and pops one, with a delay mix that exercises every
+// wheel level (serialization-scale, RTT-scale, epoch-scale, RTO-scale), so
+// ns/op reflects bucket traversal and cascade cost, not drain bursts. Two
+// depths bracket the cache regimes: 4096 pending events fit comfortably in
+// L2, where pointer-chasing is cheap anyway; 65536 pending events push the
+// working set past the last-level cache — the simulation-scale regime
+// (millions of in-flight events per simulated second) whose cache misses
+// motivated the slab layout. The heap sub-benchmark is the same workload on
+// the O(log n) backend for comparison.
+func BenchmarkWheelInsert(b *testing.B) {
+	// One delay per wheel level region (≈2 ns, ≈300 ns, ≈20 µs, ≈1.3 ms,
+	// ≈86 ms), plus a jitter stride that spreads events across slots.
+	delays := [...]eventq.Time{
+		2 * eventq.Nanosecond,
+		300 * eventq.Nanosecond,
+		20 * eventq.Microsecond,
+		1300 * eventq.Microsecond,
+		86 * eventq.Millisecond,
+	}
+	for _, kind := range eventqKinds {
+		for _, depth := range []int{4096, 65536} {
+			b.Run(fmt.Sprintf("%s/depth=%d", kind, depth), func(b *testing.B) {
+				s := eventq.NewKind(kind)
+				fn := func(any) {}
+				sched := func(i int) {
+					d := delays[i%len(delays)] + eventq.Time((uint64(i)*2654435761)%4096)
+					s.AfterArg(d, fn, nil)
+				}
+				for j := 0; j < depth; j++ {
+					sched(j)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sched(i)
+					s.Step()
+				}
+			})
+		}
 	}
 }
 

@@ -34,6 +34,16 @@ for sched in wheel heap; do
     done
 done
 
+# The eventq differential property tests (heap-vs-wheel fire sequences,
+# ReserveSeq boundary interleavings) are the proof obligations of the
+# arena-backed wheel layout; run them explicitly under the race detector
+# with caching disabled so a wheel change can never ride a stale cache
+# entry through the full -race sweep below.
+echo "== eventq differential property tests, -race -count=1 =="
+go test -race -count=1 \
+    -run 'TestKindsDifferential|TestReserveSeq|TestRandomInterleavingNoStaleFires' \
+    ./internal/eventq/
+
 echo "== go test -race ./... =="
 go test -race ./...
 
