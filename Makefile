@@ -1,7 +1,7 @@
 # Tier-1 verification (the gate every PR must keep green) and the fuller
 # CI path with vet + the race detector.
 
-.PHONY: build test vet race ci bench
+.PHONY: build test vet race ci bench fuzz
 
 build:
 	go build ./...
@@ -20,6 +20,12 @@ race:
 
 ci:
 	./scripts/ci.sh
+
+# Longer fuzzing sessions than the CI smoke (override with FUZZTIME=5m).
+FUZZTIME ?= 60s
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzSchedulerOps$$' -fuzztime $(FUZZTIME) ./internal/eventq/
+	go test -run '^$$' -fuzz '^FuzzReceiverPacket$$' -fuzztime $(FUZZTIME) ./internal/transport/
 
 bench:
 	go test -bench . -benchtime 1x -run '^$$' ./...

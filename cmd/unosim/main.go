@@ -9,7 +9,7 @@
 //	unosim -exp all -scale 2 -seed 7
 //	unosim -exp fig13a -out results/   # CSV artifacts
 //	unosim -exp fig13a -parallel 4     # fan independent reruns across cores
-//	unosim -exp fig3 -sched heap       # cross-check the heap event queue
+//	unosim -exp fig3 -batch off        # cross-check unbatched link delivery
 //
 // Scale 1 is a minutes-long quick validation (like sc25_quick_validation);
 // larger scales add flows, reruns, and duration toward paper scale.
@@ -30,7 +30,6 @@ import (
 	"runtime/pprof"
 	"time"
 
-	"uno/internal/eventq"
 	"uno/internal/harness"
 	"uno/internal/netsim"
 )
@@ -42,8 +41,6 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "base random seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max concurrent simulation runs (independent reruns only; output is identical for any value)")
-		sched = flag.String("sched", eventq.Default().String(),
-			"event-queue backend: wheel (hierarchical timing wheel, O(1)) or heap (4-ary heap); results are identical either way")
 		batch = flag.String("batch", netsim.BatchMode(netsim.BatchDefault()),
 			"batched link delivery: on (per-link arrival FIFO, one scheduler insert per busy period) or off (one insert per packet); results are identical either way")
 		list       = flag.Bool("list", false, "list available experiments")
@@ -52,13 +49,6 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-
-	kind, err := eventq.ParseKind(*sched)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	eventq.SetDefault(kind)
 
 	batchOn, err := netsim.ParseBatch(*batch)
 	if err != nil {

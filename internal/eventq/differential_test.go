@@ -6,11 +6,12 @@ import (
 	"uno/internal/rng"
 )
 
-// Differential tests: the heap and the wheel implement one contract —
-// events fire in exact (time, seq) order — so any randomized operation
-// script must produce identical fire sequences on both. This is the test
-// half of the digest gate: if it holds for adversarial interleavings, the
-// golden digests in internal/simtest cannot distinguish the backends.
+// Differential tests: the wheel and the naive reference model (model_test.go)
+// implement one contract — events fire in exact (time, seq) order — so any
+// randomized operation script must produce identical fire sequences on both.
+// This is the test half of the digest gate: if it holds for adversarial
+// interleavings, the golden digests in internal/simtest cannot be moved by a
+// wheel bug.
 
 // firing records one callback execution: the clock when it ran plus the
 // identity of what fired.
@@ -19,26 +20,24 @@ type firing struct {
 	id int
 }
 
-// runScript drives a freshly built k-kind scheduler through the
-// deterministic operation script derived from seed and returns the fire
-// sequence. All randomness comes from the seeded rng, and no decision
-// depends on scheduler internals, so both kinds see the same script.
-func runScript(t *testing.T, k Kind, seed uint64, ops int) []firing {
+// runScript drives a fresh scheduler (real wheel or reference model, per
+// the factory) through the deterministic operation script derived from seed
+// and returns the fire sequence. All randomness comes from the seeded rng,
+// and no decision depends on scheduler internals, so both implementations
+// see the same script.
+func runScript(t *testing.T, mk func() scriptSched, seed uint64, ops int) []firing {
 	t.Helper()
 	r := rng.New(seed)
-	s := NewKind(k)
-	if s.Kind() != k {
-		t.Fatalf("NewKind(%v).Kind() = %v", k, s.Kind())
-	}
+	s := mk()
 
 	var fired []firing
-	var handles []*Event
+	var handles []canceller
 	nextID := 0
 
 	// A pool of reusable timers; ids offset so they never collide with
 	// Schedule ids.
 	const timerBase = 1 << 30
-	timers := make([]*Timer, 8)
+	timers := make([]scriptTimer, 8)
 	for i := range timers {
 		i := i
 		timers[i] = s.NewTimer(func() {
@@ -101,28 +100,28 @@ func runScript(t *testing.T, k Kind, seed uint64, ops int) []firing {
 	}
 	s.Run()
 	if s.Pending() != 0 {
-		t.Fatalf("kind %v seed %d: %d events pending after drain", k, seed, s.Pending())
+		t.Fatalf("seed %d: %d events pending after drain", seed, s.Pending())
 	}
 	return fired
 }
 
-// TestKindsDifferential asserts the heap and the wheel fire identical
-// sequences for randomized Schedule/Cancel/Timer/Step/RunUntil scripts
-// that include same-tick bursts and far-future overflow events.
-func TestKindsDifferential(t *testing.T) {
+// TestWheelModelDifferential asserts the wheel and the reference model fire
+// identical sequences for randomized Schedule/Cancel/Timer/Step/RunUntil
+// scripts that include same-tick bursts and far-future overflow events.
+func TestWheelModelDifferential(t *testing.T) {
 	for _, seed := range []uint64{1, 2, 7, 42, 365, 90125, 271828, 3141592} {
-		heap := runScript(t, Heap, seed, 4000)
-		wheel := runScript(t, Wheel, seed, 4000)
-		if len(heap) != len(wheel) {
-			t.Fatalf("seed %d: heap fired %d events, wheel %d", seed, len(heap), len(wheel))
+		model := runScript(t, func() scriptSched { return &refSched{} }, seed, 4000)
+		wheel := runScript(t, func() scriptSched { return realSched{New()} }, seed, 4000)
+		if len(model) != len(wheel) {
+			t.Fatalf("seed %d: model fired %d events, wheel %d", seed, len(model), len(wheel))
 		}
-		if len(heap) == 0 {
+		if len(model) == 0 {
 			t.Fatalf("seed %d: vacuous script", seed)
 		}
-		for i := range heap {
-			if heap[i] != wheel[i] {
-				t.Fatalf("seed %d: firing %d differs: heap (at=%d id=%d) vs wheel (at=%d id=%d)",
-					seed, i, heap[i].at, heap[i].id, wheel[i].at, wheel[i].id)
+		for i := range model {
+			if model[i] != wheel[i] {
+				t.Fatalf("seed %d: firing %d differs: model (at=%d id=%d) vs wheel (at=%d id=%d)",
+					seed, i, model[i].at, model[i].id, wheel[i].at, wheel[i].id)
 			}
 		}
 	}

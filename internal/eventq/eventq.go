@@ -8,12 +8,11 @@
 // serialization times on the link speeds used by the paper are exact
 // (a 4096 B MTU at 100 Gb/s serializes in exactly 327,680 ps).
 //
-// The engine is built for a near-zero-allocation steady state. Two priority
-// queue backends implement the identical (time, seq) contract and are
-// selected by Kind (kind.go): the default hierarchical timing wheel
-// (wheel.go, O(1) per operation) and the hand-specialized 4-ary min-heap
-// (heap.go, O(log n), retained for differential testing). Neither uses
-// container/heap interface dispatch or `any` boxing on push/pop. Three
+// The engine is built for a near-zero-allocation steady state. The queue is
+// a hierarchical timing wheel (wheel.go, O(1) per operation) with a
+// hand-specialized 4-ary min-heap (heap.go) as its far-future overflow
+// structure; both honour the same exact (time, seq) contract and neither
+// uses container/heap interface dispatch or `any` boxing on push/pop. Three
 // scheduling flavors trade convenience against allocation:
 //
 //   - Schedule/After return a cancel handle; the Event is never reused, so
@@ -153,31 +152,14 @@ type Scheduler struct {
 	arena    arena   // slab holding every Event of this scheduler
 	free     []int32 // slab indices of recycled fire-and-forget events
 
-	// Exactly one backend is active: w when non-nil (Wheel kind),
-	// otherwise the heap.
-	w    *wheel
-	heap eventHeap
+	w *wheel // the timing-wheel queue (with its own overflow heap)
 }
 
-// New returns a scheduler of the default kind positioned at time 0.
-func New() *Scheduler { return NewKind(Default()) }
-
-// NewKind returns a scheduler with an explicit queue backend. Use New()
-// unless you are cross-checking backends (differential tests, CI).
-func NewKind(k Kind) *Scheduler {
+// New returns a scheduler positioned at time 0.
+func New() *Scheduler {
 	s := &Scheduler{}
-	if k == Wheel {
-		s.w = newWheel(&s.arena)
-	}
+	s.w = newWheel(&s.arena)
 	return s
-}
-
-// Kind returns the scheduler's queue backend kind.
-func (s *Scheduler) Kind() Kind {
-	if s.w != nil {
-		return Wheel
-	}
-	return Heap
 }
 
 // Now returns the current simulated time.
@@ -189,78 +171,43 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 
 // Pending returns the number of events currently queued, including
 // cancelled-but-unpopped ones.
-func (s *Scheduler) Pending() int {
-	if s.w != nil {
-		return s.w.count
-	}
-	return len(s.heap)
-}
+func (s *Scheduler) Pending() int { return s.w.count }
 
 // FreeEvents returns the current size of the event free list (telemetry for
 // the allocation-budget tests).
 func (s *Scheduler) FreeEvents() int { return len(s.free) }
 
-// ---- queue backend dispatch ----
+// ---- queue operations ----
 
-// push enqueues e into the active backend.
-func (s *Scheduler) push(e *Event) {
-	if s.w != nil {
-		s.w.insert(e)
-	} else {
-		s.heap.push(e)
-	}
-}
+// push enqueues e into the wheel.
+func (s *Scheduler) push(e *Event) { s.w.insert(e) }
 
 // maxTime is an effectively infinite deadline for unbounded peeks.
 const maxTime = Time(1<<63 - 1)
 
 // peekUntil returns the earliest queued event if its deadline is at or
-// before deadline, else nil. A wheel backend may cascade internally, but
-// never past deadline, so a caller that then stops and clocks forward to
-// deadline keeps every future insert at or after the wheel position.
+// before deadline, else nil. The wheel may cascade internally, but never
+// past deadline, so a caller that then stops and clocks forward to deadline
+// keeps every future insert at or after the wheel position.
 func (s *Scheduler) peekUntil(deadline Time) *Event {
-	if s.w != nil {
-		return s.w.peekUntil(deadline)
-	}
-	if len(s.heap) > 0 && s.heap[0].at <= deadline {
-		return s.heap[0]
-	}
-	return nil
+	return s.w.peekUntil(deadline)
 }
 
 // popKnown dequeues e, which must be the event peekUntil just returned.
-func (s *Scheduler) popKnown(e *Event) {
-	if s.w != nil {
-		s.w.popKnown(e)
-	} else {
-		s.heap.popMin()
-	}
-}
+func (s *Scheduler) popKnown(e *Event) { s.w.popKnown(e) }
 
 // popMin dequeues and returns the earliest event, or nil when empty.
 func (s *Scheduler) popMin() *Event {
-	if s.w != nil {
-		e := s.w.peekUntil(maxTime)
-		if e != nil {
-			s.w.popKnown(e)
-		}
-		return e
+	e := s.w.peekUntil(maxTime)
+	if e != nil {
+		s.w.popKnown(e)
 	}
-	if len(s.heap) == 0 {
-		return nil
-	}
-	return s.heap.popMin()
+	return e
 }
 
 // remove deletes a queued event from an arbitrary position (Timer
 // rescheduling); no-op if e is not queued.
-func (s *Scheduler) remove(e *Event) {
-	if s.w != nil {
-		s.w.remove(e)
-	} else {
-		s.heap.remove(e)
-	}
-}
+func (s *Scheduler) remove(e *Event) { s.w.remove(e) }
 
 // ---- event allocation ----
 

@@ -1,0 +1,138 @@
+package eventq
+
+import (
+	"testing"
+)
+
+// FuzzSchedulerOps is the fuzzing face of the differential suite: an
+// arbitrary byte string is decoded into an operation script — schedules
+// into every wheel level (including the overflow heap), same-tick bursts,
+// handle cancels, timer rearm/cancel, ReserveSeq+ResetSeq deferred
+// arming, Step, RunUntil — and the script is replayed on both the wheel
+// and the reference model. The two fire sequences must be identical.
+// Where the randomized tests sample the interleaving space, the fuzzer
+// searches it for the corner the samples missed.
+func FuzzSchedulerOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	// One of each opcode with assorted operands.
+	f.Add([]byte{0x00, 0x11, 0x22, 0x01, 0x33, 0x44, 0x02, 0x55, 0x03, 0x04, 0x05, 0x06, 0x07, 0x66})
+	// Overflow-horizon schedules (delay selector 4) mixed with bursts.
+	f.Add([]byte{0x00, 0x04, 0xff, 0x02, 0x04, 0xff, 0x07, 0xff, 0x00, 0x00, 0x00})
+	// Reserve-heavy script: interleave reservations, arms, and noise.
+	f.Add([]byte{0x05, 0x01, 0x10, 0x06, 0x00, 0x01, 0x20, 0x05, 0x02, 0x30, 0x06, 0x07, 0x40})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip("script longer than the op budget")
+		}
+		model := runFuzzScript(func() scriptSched { return &refSched{} }, data)
+		wheel := runFuzzScript(func() scriptSched { return realSched{New()} }, data)
+		if len(model) != len(wheel) {
+			t.Fatalf("model fired %d events, wheel %d", len(model), len(wheel))
+		}
+		for i := range model {
+			if model[i] != wheel[i] {
+				t.Fatalf("firing %d differs: model (at=%d id=%d) vs wheel (at=%d id=%d)",
+					i, model[i].at, model[i].id, wheel[i].at, wheel[i].id)
+			}
+		}
+	})
+}
+
+// runFuzzScript interprets data as an op script against a fresh scheduler.
+// Every decode decision depends only on the bytes and on state both
+// implementations share, so the wheel and the model replay the same script.
+func runFuzzScript(mk func() scriptSched, data []byte) []firing {
+	s := mk()
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	// delay decodes a two-byte magnitude into one of five placement
+	// classes: same tick, level-0 ticks, mid levels, upper levels, and
+	// past the overflow horizon.
+	delay := func() Time {
+		sel := next()
+		v := Time(next())<<8 | Time(next())
+		switch sel % 5 {
+		case 0:
+			return 0
+		case 1:
+			return v % 4096
+		case 2:
+			return (v << 14) | (v % 1024)
+		case 3:
+			return (v << 28) | (v % 4096)
+		default:
+			return (1 << 47) + (v << 32) + v
+		}
+	}
+
+	var fired []firing
+	var handles []canceller
+	nextID := 0
+	schedule := func(at Time) {
+		id := nextID
+		nextID++
+		handles = append(handles, s.Schedule(at, func() {
+			fired = append(fired, firing{s.Now(), id})
+		}))
+	}
+
+	const timerBase = 1 << 30
+	timers := make([]scriptTimer, 4)
+	for i := range timers {
+		i := i
+		timers[i] = s.NewTimer(func() {
+			fired = append(fired, firing{s.Now(), timerBase + i})
+		})
+	}
+
+	// Reservations for the deferred-arm op (the PR-4 batching pattern).
+	type reservation struct {
+		at  Time
+		seq uint64
+	}
+	var reserved []reservation
+
+	for pos < len(data) {
+		switch next() % 8 {
+		case 0:
+			schedule(s.Now() + delay())
+		case 1: // same-tick burst
+			at := s.Now() + delay()
+			for n := int(next()%3) + 2; n > 0; n-- {
+				schedule(at)
+			}
+		case 2:
+			if len(handles) > 0 {
+				handles[int(next())%len(handles)].Cancel()
+			}
+		case 3:
+			timers[int(next())%len(timers)].ResetAfter(delay())
+		case 4:
+			timers[int(next())%len(timers)].Cancel()
+		case 5: // reserve a slot now, arm later
+			reserved = append(reserved, reservation{s.Now() + delay(), s.ReserveSeq()})
+		case 6: // arm the oldest still-future reservation
+			for len(reserved) > 0 {
+				res := reserved[0]
+				reserved = reserved[1:]
+				if res.at >= s.Now() {
+					timers[int(next())%len(timers)].ResetSeq(res.at, res.seq)
+					break
+				}
+			}
+		default:
+			s.RunUntil(s.Now() + delay())
+		}
+	}
+	s.Run()
+	return fired
+}

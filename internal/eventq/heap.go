@@ -2,10 +2,9 @@ package eventq
 
 // eventHeap is a hand-specialized 4-ary min-heap over *Event ordered by
 // eventLess — no container/heap interface dispatch, no `any` boxing on
-// push/pop. It serves two roles: the whole queue of a Heap-kind Scheduler,
-// and the far-future overflow structure of a Wheel-kind Scheduler (RTO
-// timers, samplers, experiment phase changes — anything beyond the wheel
-// horizon).
+// push/pop. It is the wheel's far-future overflow structure (RTO timers,
+// samplers, experiment phase changes — anything beyond the wheel horizon);
+// events inside the horizon live in wheel buckets instead (wheel.go).
 //
 // A 4-ary layout halves the tree depth of a binary heap: pops do a few more
 // comparisons per level but far fewer cache-missing levels, which wins for

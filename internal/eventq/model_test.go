@@ -1,0 +1,215 @@
+package eventq
+
+// refSched is a deliberately naive reference model of the Scheduler
+// contract: an unsorted slice scanned linearly for the (time, seq) minimum
+// on every pop. It replaces the retired 4-ary heap backend as the
+// differential-testing oracle — being ~20 lines of obviously-correct code
+// with no shared structure (no arena, no buckets, no overflow migration),
+// any divergence from the wheel is a wheel bug, not a shared one.
+//
+// Semantics mirrored exactly:
+//   - events fire in (at, seq) order; seq is assigned at schedule time
+//     (or taken from ReserveSeq for ResetSeq);
+//   - cancelled handle events stay queued (and counted by Pending) until
+//     popped, then are skipped;
+//   - timer Cancel/Reset remove the pending firing immediately;
+//   - RunUntil executes events with at <= deadline, then clocks forward
+//     to the deadline;
+//   - scheduling in the past panics.
+
+type refEvent struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+func (e *refEvent) Cancel() { e.cancelled = true }
+
+type refSched struct {
+	now Time
+	seq uint64
+	q   []*refEvent
+}
+
+func (s *refSched) Now() Time    { return s.now }
+func (s *refSched) Pending() int { return len(s.q) }
+
+func (s *refSched) ReserveSeq() uint64 {
+	n := s.seq
+	s.seq++
+	return n
+}
+
+func (s *refSched) pushSeq(at Time, seq uint64, fn func()) *refEvent {
+	if at < s.now {
+		panic("refSched: schedule in the past")
+	}
+	e := &refEvent{at: at, seq: seq, fn: fn}
+	s.q = append(s.q, e)
+	return e
+}
+
+func (s *refSched) Schedule(at Time, fn func()) canceller {
+	return s.pushSeq(at, s.ReserveSeq(), fn)
+}
+
+func (s *refSched) ScheduleArg(at Time, fn func(any), arg any) {
+	s.pushSeq(at, s.ReserveSeq(), func() { fn(arg) })
+}
+
+func (s *refSched) AfterArg(d Time, fn func(any), arg any) {
+	if d < 0 {
+		panic("refSched: negative delay")
+	}
+	s.ScheduleArg(s.now+d, fn, arg)
+}
+
+// popMin removes and returns the (at, seq)-minimal event, nil when empty.
+func (s *refSched) popMin() *refEvent {
+	if len(s.q) == 0 {
+		return nil
+	}
+	best := 0
+	for i := 1; i < len(s.q); i++ {
+		e, b := s.q[i], s.q[best]
+		if e.at < b.at || (e.at == b.at && e.seq < b.seq) {
+			best = i
+		}
+	}
+	e := s.q[best]
+	s.q = append(s.q[:best], s.q[best+1:]...)
+	return e
+}
+
+func (s *refSched) runEvent(e *refEvent) {
+	s.now = e.at
+	e.fn()
+}
+
+func (s *refSched) Step() bool {
+	for {
+		e := s.popMin()
+		if e == nil {
+			return false
+		}
+		if e.cancelled {
+			continue
+		}
+		s.runEvent(e)
+		return true
+	}
+}
+
+func (s *refSched) RunUntil(deadline Time) {
+	for len(s.q) > 0 {
+		e := s.popMin()
+		if e.at > deadline {
+			s.q = append(s.q, e) // put it back; order is recomputed per pop
+			break
+		}
+		if e.cancelled {
+			continue
+		}
+		s.runEvent(e)
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+func (s *refSched) Run() {
+	for {
+		e := s.popMin()
+		if e == nil {
+			return
+		}
+		if e.cancelled {
+			continue
+		}
+		s.runEvent(e)
+	}
+}
+
+// refTimer models Timer: Cancel and Reset remove the pending firing from
+// the queue immediately (never lazily), and Reset assigns a fresh seq while
+// ResetSeq uses a reserved one.
+type refTimer struct {
+	s  *refSched
+	fn func()
+	e  *refEvent // pending firing, nil when idle
+}
+
+func (s *refSched) NewTimer(fn func()) scriptTimer { return &refTimer{s: s, fn: fn} }
+
+func (t *refTimer) removePending() {
+	if t.e == nil {
+		return
+	}
+	for i, e := range t.s.q {
+		if e == t.e {
+			t.s.q = append(t.s.q[:i], t.s.q[i+1:]...)
+			break
+		}
+	}
+	t.e = nil
+}
+
+func (t *refTimer) resetSeq(at Time, seq uint64) {
+	t.removePending()
+	var e *refEvent
+	e = t.s.pushSeq(at, seq, func() {
+		t.e = nil // non-pending while the callback runs
+		t.fn()
+	})
+	t.e = e
+}
+
+func (t *refTimer) Reset(at Time)     { t.resetSeq(at, t.s.ReserveSeq()) }
+func (t *refTimer) ResetSeq(at Time, seq uint64) { t.resetSeq(at, seq) }
+
+func (t *refTimer) ResetAfter(d Time) {
+	if d < 0 {
+		panic("refSched: negative delay")
+	}
+	t.Reset(t.s.now + d)
+}
+
+func (t *refTimer) Cancel()       { t.removePending() }
+func (t *refTimer) Pending() bool { return t.e != nil }
+
+// ---- the shared script-facing interface ----
+
+// canceller is the least common denominator of *Event and *refEvent.
+type canceller interface{ Cancel() }
+
+// scriptTimer is the least common denominator of *Timer and *refTimer.
+type scriptTimer interface {
+	Reset(Time)
+	ResetAfter(Time)
+	ResetSeq(Time, uint64)
+	Cancel()
+	Pending() bool
+}
+
+// scriptSched lets one operation script drive either the real Scheduler or
+// the refSched model. Both differential tests and the fuzz target use it.
+type scriptSched interface {
+	Now() Time
+	Pending() int
+	ReserveSeq() uint64
+	Schedule(at Time, fn func()) canceller
+	ScheduleArg(at Time, fn func(any), arg any)
+	AfterArg(d Time, fn func(any), arg any)
+	NewTimer(fn func()) scriptTimer
+	Step() bool
+	RunUntil(Time)
+	Run()
+}
+
+// realSched adapts *Scheduler to scriptSched (only the two methods whose
+// concrete return types differ need wrapping).
+type realSched struct{ *Scheduler }
+
+func (r realSched) Schedule(at Time, fn func()) canceller { return r.Scheduler.Schedule(at, fn) }
+func (r realSched) NewTimer(fn func()) scriptTimer        { return r.Scheduler.NewTimer(fn) }

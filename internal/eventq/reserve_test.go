@@ -6,11 +6,21 @@ import (
 	"uno/internal/rng"
 )
 
+// schedImpls enumerates the real wheel scheduler and the naive reference
+// model so the ReserveSeq contract tests run against both.
+var schedImpls = []struct {
+	name string
+	mk   func() scriptSched
+}{
+	{"wheel", func() scriptSched { return realSched{New()} }},
+	{"model", func() scriptSched { return &refSched{} }},
+}
+
 // TestResetSeqSlotsInAtReservation: among same-time events, a timer armed
 // via ResetSeq fires in the slot fixed by ReserveSeq, not in arm order.
 func TestResetSeqSlotsInAtReservation(t *testing.T) {
-	for _, k := range []Kind{Heap, Wheel} {
-		s := NewKind(k)
+	for _, impl := range schedImpls {
+		s := impl.mk()
 		var got []int
 		seq := s.ReserveSeq() // slot 0, reserved before the others
 		s.Schedule(10, func() { got = append(got, 1) })
@@ -19,7 +29,7 @@ func TestResetSeqSlotsInAtReservation(t *testing.T) {
 		tm.ResetSeq(10, seq) // armed last
 		s.Run()
 		if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
-			t.Fatalf("kind %v: fire order %v, want [0 1 2]", k, got)
+			t.Fatalf("%s: fire order %v, want [0 1 2]", impl.name, got)
 		}
 	}
 }
@@ -63,13 +73,13 @@ func TestReserveSeqFIFOEquivalence(t *testing.T) {
 		seq uint64
 		id  int
 	}
-	run := func(k Kind, seed uint64, batched bool) []firing {
+	run := func(mk func() scriptSched, seed uint64, batched bool) []firing {
 		r := rng.New(seed)
-		s := NewKind(k)
+		s := mk()
 		var fired []firing
 		const delay = Time(1000)
 		var fifo []item
-		var tm *Timer
+		var tm scriptTimer
 		tm = s.NewTimer(func() {
 			head := fifo[0]
 			fifo = fifo[1:]
@@ -110,20 +120,20 @@ func TestReserveSeqFIFOEquivalence(t *testing.T) {
 		s.Run()
 		return fired
 	}
-	for _, k := range []Kind{Heap, Wheel} {
+	for _, impl := range schedImpls {
 		for _, seed := range []uint64{1, 7, 42, 90125} {
-			eager := run(k, seed, false)
-			batch := run(k, seed, true)
+			eager := run(impl.mk, seed, false)
+			batch := run(impl.mk, seed, true)
 			if len(eager) != len(batch) {
-				t.Fatalf("kind %v seed %d: eager fired %d, batched %d", k, seed, len(eager), len(batch))
+				t.Fatalf("%s seed %d: eager fired %d, batched %d", impl.name, seed, len(eager), len(batch))
 			}
 			if len(eager) == 0 {
-				t.Fatalf("kind %v seed %d: vacuous script", k, seed)
+				t.Fatalf("%s seed %d: vacuous script", impl.name, seed)
 			}
 			for i := range eager {
 				if eager[i] != batch[i] {
-					t.Fatalf("kind %v seed %d: firing %d differs: eager (at=%d id=%d) vs batched (at=%d id=%d)",
-						k, seed, i, eager[i].at, eager[i].id, batch[i].at, batch[i].id)
+					t.Fatalf("%s seed %d: firing %d differs: eager (at=%d id=%d) vs batched (at=%d id=%d)",
+						impl.name, seed, i, eager[i].at, eager[i].id, batch[i].at, batch[i].id)
 				}
 			}
 		}
@@ -148,9 +158,9 @@ func boundaryDelay(r *rng.Rand) Time {
 // boundaries and across the overflow-heap horizon, in two modes: eager
 // per-item ScheduleArg, and a deferred-insert pending list served by one
 // ResetSeq timer (the PR-4 batching pattern, here with out-of-order offers
-// and head cancellation, which the link FIFO never produces). All four
-// (backend, mode) combinations must record the identical fire sequence;
-// heap-eager is the oracle.
+// and head cancellation, which the link FIFO never produces). Eager mode on
+// the reference model is the oracle; wheel-eager, wheel-batched, and
+// model-batched must all record the identical fire sequence.
 func TestReserveSeqBoundaryDifferential(t *testing.T) {
 	type entry struct {
 		at        Time
@@ -159,14 +169,14 @@ func TestReserveSeqBoundaryDifferential(t *testing.T) {
 		cancelled bool
 		fired     bool
 	}
-	run := func(k Kind, seed uint64, batched bool) []firing {
+	run := func(mk func() scriptSched, seed uint64, batched bool) []firing {
 		r := rng.New(seed)
-		s := NewKind(k)
+		s := mk()
 		var all []*entry     // creation order: deterministic cancel picks
 		var pending []*entry // batched: sorted by (at, seq); head is armed
 		var fired []firing
 
-		var tm *Timer
+		var tm scriptTimer
 		tm = s.NewTimer(func() {
 			head := pending[0]
 			pending = pending[1:]
@@ -254,33 +264,33 @@ func TestReserveSeqBoundaryDifferential(t *testing.T) {
 		}
 		s.Run()
 		if s.Pending() != 0 {
-			t.Fatalf("kind %v seed %d batched=%v: %d events pending after drain",
-				k, seed, batched, s.Pending())
+			t.Fatalf("seed %d batched=%v: %d events pending after drain",
+				seed, batched, s.Pending())
 		}
 		if batched && len(pending) != 0 {
-			t.Fatalf("kind %v seed %d: %d entries stranded in the pending list", k, seed, len(pending))
+			t.Fatalf("seed %d: %d entries stranded in the pending list", seed, len(pending))
 		}
 		return fired
 	}
 	for _, seed := range []uint64{3, 11, 42, 777, 271828} {
-		oracle := run(Heap, seed, false)
+		oracle := run(func() scriptSched { return &refSched{} }, seed, false)
 		if len(oracle) == 0 {
 			t.Fatalf("seed %d: vacuous script", seed)
 		}
-		for _, k := range []Kind{Heap, Wheel} {
+		for _, impl := range schedImpls {
 			for _, batched := range []bool{false, true} {
-				if k == Heap && !batched {
-					continue
+				if impl.name == "model" && !batched {
+					continue // that run is the oracle itself
 				}
-				got := run(k, seed, batched)
+				got := run(impl.mk, seed, batched)
 				if len(got) != len(oracle) {
-					t.Fatalf("seed %d kind %v batched=%v: fired %d, oracle %d",
-						seed, k, batched, len(got), len(oracle))
+					t.Fatalf("seed %d %s batched=%v: fired %d, oracle %d",
+						seed, impl.name, batched, len(got), len(oracle))
 				}
 				for i := range oracle {
 					if got[i] != oracle[i] {
-						t.Fatalf("seed %d kind %v batched=%v: firing %d differs: got (at=%d id=%d), oracle (at=%d id=%d)",
-							seed, k, batched, i, got[i].at, got[i].id, oracle[i].at, oracle[i].id)
+						t.Fatalf("seed %d %s batched=%v: firing %d differs: got (at=%d id=%d), oracle (at=%d id=%d)",
+							seed, impl.name, batched, i, got[i].at, got[i].id, oracle[i].at, oracle[i].id)
 					}
 				}
 			}

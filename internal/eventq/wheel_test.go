@@ -11,7 +11,7 @@ import "testing"
 // given schedule order) and returns the times in fire order.
 func collectWheel(t *testing.T, times []Time) []Time {
 	t.Helper()
-	s := NewKind(Wheel)
+	s := New()
 	var fired []Time
 	for _, at := range times {
 		at := at
@@ -56,7 +56,7 @@ func TestWheelLevelBoundaryEvents(t *testing.T) {
 // boundary tick, interleaved with neighbors, and checks FIFO tie order
 // survives the cascade from an unsorted higher-level chain.
 func TestWheelBoundaryTieOrder(t *testing.T) {
-	s := NewKind(Wheel)
+	s := New()
 	boundary := Time(1) << wheelShift(2) // first level-2 bucket boundary
 	var order []int
 	for i := 0; i < 20; i++ {
@@ -98,7 +98,7 @@ func TestWheelOverflowMigration(t *testing.T) {
 // scheduled first (the top window only grows forward), so it must fire
 // first.
 func TestWheelOverflowTieOrder(t *testing.T) {
-	s := NewKind(Wheel)
+	s := New()
 	horizon := Time(1) << wheelShift(wheelLevels)
 	var order []int
 	// Scheduled at time 0: beyond the top window → overflow.
@@ -119,7 +119,7 @@ func TestWheelOverflowTieOrder(t *testing.T) {
 // strands the queue: peekUntil may cascade internally but must never
 // advance past the deadline in a way that breaks later scheduling.
 func TestWheelRunUntilBoundary(t *testing.T) {
-	s := NewKind(Wheel)
+	s := New()
 	boundary := Time(1) << wheelShift(1) // first level-1 boundary
 	var fired []Time
 	for _, at := range []Time{boundary - 1, boundary, boundary + 1} {
@@ -146,7 +146,7 @@ func TestWheelRunUntilBoundary(t *testing.T) {
 // TestWheelIdleJumpThenNear reproduces the RTO pattern: a long idle jump to
 // a far deadline, then a flurry of near events scheduled from its callback.
 func TestWheelIdleJumpThenNear(t *testing.T) {
-	s := NewKind(Wheel)
+	s := New()
 	far := 3*Time(1)<<wheelShift(wheelLevels) + 12345
 	var fired []Time
 	s.Schedule(far, func() {
@@ -170,7 +170,7 @@ func TestWheelIdleJumpThenNear(t *testing.T) {
 // allocation-free just like the heap's (the PR-2 budget extended to the new
 // default backend), including cycles that cross level boundaries.
 func TestWheelAllocFree(t *testing.T) {
-	s := NewKind(Wheel)
+	s := New()
 	fn := func(any) {}
 	for i := 0; i < 64; i++ { // warm the free list
 		s.AfterArg(1, fn, nil)

@@ -12,7 +12,7 @@ import (
 // (see Link.deliver). Delivery times and order are provably identical —
 // the seq is reserved at the moment the eager path would have scheduled —
 // so every golden digest is byte-identical under either mode; the toggle
-// exists for differential CI, mirroring eventq's UNO_SCHED switch.
+// exists so CI can pin both modes differentially.
 
 // batchDefault is what New() captures into each Network. Atomic because
 // harness workers construct networks from worker goroutines while a main

@@ -1,0 +1,533 @@
+package netsim
+
+// Runtime invariant checking: AttachInvariants hooks an InvariantChecker
+// into a Network's observer chain and packet-pool hooks, and the checker
+// then asserts, while any simulation runs, the structural invariants that
+// the retired heap-backend differential tests used to witness indirectly:
+//
+//	(a) per-flow packet conservation — every packet injected into the
+//	    fabric is eventually delivered, dropped, or still in flight, and
+//	    the three accounts reconcile against a *physical walk* of port
+//	    queues, transmitters, and link in-flight counters;
+//	(b) queue bookkeeping — a port's incremental queuedBytes always equals
+//	    the sum of its queued packet sizes, data-packet occupancy never
+//	    exceeds QueueCap (control packets may exceed it only via
+//	    ControlBypass), DRR per-class byte counters agree with their
+//	    queues, and phantom-queue occupancy stays within [0, Cap] with a
+//	    monotone drain clock;
+//	(c) event-time monotonicity — fabric events never observe time moving
+//	    backwards, and no packet is delivered before it was sent;
+//	(d) packet-pool discipline — no packet is freed twice, observed after
+//	    being freed, or handed out by AllocPacket without the full recycle
+//	    reset;
+//	(e) erasure-coding block accounting — a receiver may declare a block
+//	    decodable (AckBlockOK) only after the fabric terminally delivered
+//	    at least as many distinct block packets as data shards were
+//	    injected, every block of a completed flow must have been declared
+//	    decodable, and (when ECData is configured) a block with a full
+//	    data-shard count delivered must not be left undeclared.
+//
+// The checker lives in package netsim on purpose: the checks recompute
+// state from unexported structures (queue slices, arena-free link FIFOs,
+// phantom internals), so they cannot degenerate into tautologies over the
+// same counters the simulator maintains. Checkers allocate freely (maps,
+// violation records) — they are test/CI instrumentation, not part of the
+// allocation-free hot path, which pays only a nil check per event when no
+// checker is attached. A checker never mutates packets and never draws
+// from the Network's RNG, so attaching one cannot move a golden digest.
+
+import (
+	"fmt"
+	"reflect"
+
+	"uno/internal/eventq"
+)
+
+// Violation records one invariant breach observed during a run.
+type Violation struct {
+	At    eventq.Time
+	Check string // "conservation", "queue", "time", "pool", "ec"
+	Msg   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%v [%s] %s", v.At, v.Check, v.Msg)
+}
+
+// maxViolations caps recorded violations; a single root cause (e.g. a
+// skipped recycle reset) can otherwise flood millions of records.
+const maxViolations = 32
+
+// flowAccount tracks per-flow conservation counters from observer events.
+type flowAccount struct {
+	injected  int64
+	delivered int64 // terminal deliveries (link into a Host)
+	dropped   int64
+	done      bool // an ACK with FlowDone was observed
+}
+
+// pktInfo is the checker's view of one packet currently in the fabric.
+type pktInfo struct {
+	flow   FlowID
+	sentAt eventq.Time
+}
+
+type blockKey struct {
+	flow  FlowID
+	block int32
+}
+
+// blockAccount tracks erasure-coding accounting for one (flow, block).
+type blockAccount struct {
+	sentData  map[int16]struct{} // distinct data (non-parity) indices injected
+	delivered map[int16]struct{} // distinct indices terminally delivered untrimmed
+	drops     int64
+	trims     int64
+	ok        bool // an AckBlockOK for this block was observed
+}
+
+// InvariantChecker implements Observer plus the Network pool hooks. Build
+// one with AttachInvariants; read results with Violations or Check.
+type InvariantChecker struct {
+	net *Network
+	// Next receives every event after the checker (observer chaining, same
+	// convention as DigestObserver.Next).
+	Next Observer
+
+	// ECData, when non-zero, is the scenario's erasure-coding data-shard
+	// count: Check then also flags blocks that received a full data-shard
+	// set but were never declared decodable.
+	ECData int
+
+	violations []Violation
+	truncated  bool
+
+	events    uint64
+	lastEvent eventq.Time
+
+	flows  map[FlowID]*flowAccount
+	live   map[*Packet]pktInfo
+	blocks map[blockKey]*blockAccount
+
+	pooledOut map[*Packet]struct{} // handed out by AllocPacket, not yet freed
+	freed     map[*Packet]struct{} // freed, not yet re-allocated
+}
+
+// AttachInvariants wires a fresh checker into n: the current observer (if
+// any) keeps receiving every event through the checker's Next field, and
+// the packet pool reports every AllocPacket/FreePacket to the checker.
+// Attach before traffic flows; call Check (or read Violations) at the end
+// of the run.
+func AttachInvariants(n *Network) *InvariantChecker {
+	c := &InvariantChecker{
+		net:       n,
+		Next:      n.Observer,
+		flows:     make(map[FlowID]*flowAccount),
+		live:      make(map[*Packet]pktInfo),
+		blocks:    make(map[blockKey]*blockAccount),
+		pooledOut: make(map[*Packet]struct{}),
+		freed:     make(map[*Packet]struct{}),
+	}
+	n.Observer = c
+	n.poolHook = c
+	return c
+}
+
+// Violations returns everything recorded so far (without the final sweep
+// that Check performs).
+func (c *InvariantChecker) Violations() []Violation { return c.violations }
+
+// Events returns how many observer events the checker has seen — a guard
+// against accidentally asserting over a checker that observed nothing.
+func (c *InvariantChecker) Events() uint64 { return c.events }
+
+func (c *InvariantChecker) violate(check, format string, args ...any) {
+	if len(c.violations) >= maxViolations {
+		c.truncated = true
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		At: c.net.Now(), Check: check, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *InvariantChecker) flow(id FlowID) *flowAccount {
+	fa := c.flows[id]
+	if fa == nil {
+		fa = &flowAccount{}
+		c.flows[id] = fa
+	}
+	return fa
+}
+
+func (c *InvariantChecker) block(id FlowID, b int32) *blockAccount {
+	k := blockKey{id, b}
+	ba := c.blocks[k]
+	if ba == nil {
+		ba = &blockAccount{
+			sentData:  make(map[int16]struct{}),
+			delivered: make(map[int16]struct{}),
+		}
+		c.blocks[k] = ba
+	}
+	return ba
+}
+
+// event runs the per-event checks shared by all three observer callbacks:
+// fabric time must be monotone, and every 16th event the full queue state
+// is re-verified (every event would be O(nodes) per packet; sampling keeps
+// the suite fast while still interleaving with traffic).
+func (c *InvariantChecker) event() {
+	now := c.net.Now()
+	if now < c.lastEvent {
+		c.violate("time", "fabric event at %v after event at %v", now, c.lastEvent)
+	}
+	c.lastEvent = now
+	c.events++
+	if c.events%16 == 0 {
+		c.checkQueues()
+	}
+}
+
+func (c *InvariantChecker) checkNotFreed(p *Packet, what string) {
+	if _, ok := c.freed[p]; ok {
+		c.violate("pool", "freed packet observed in %s event (id=%d type=%v flow=%d)",
+			what, p.ID, p.Type, p.Flow)
+	}
+}
+
+// PacketSent implements Observer.
+func (c *InvariantChecker) PacketSent(h *Host, p *Packet) {
+	c.event()
+	c.checkNotFreed(p, "send")
+	if info, ok := c.live[p]; ok {
+		c.violate("conservation", "packet sent while already in fabric (flow %d, first sent %v)",
+			info.flow, info.sentAt)
+	}
+	c.live[p] = pktInfo{flow: p.Flow, sentAt: c.net.Now()}
+	c.flow(p.Flow).injected++
+	if p.Type == Data && p.Block >= 0 && !p.IsParity {
+		c.block(p.Flow, p.Block).sentData[p.BlockIdx] = struct{}{}
+	}
+	if p.Type == Ack {
+		if p.FlowDone {
+			c.flow(p.Flow).done = true
+		}
+		if p.AckBlock >= 0 && p.AckBlockOK {
+			ba := c.block(p.Flow, p.AckBlock)
+			if !ba.ok {
+				ba.ok = true
+				// The completing arrival was terminally delivered before this
+				// ACK was constructed, so the fabric must already account for
+				// at least a decodable set: never fewer distinct deliveries
+				// than distinct data shards injected.
+				if len(ba.delivered) < len(ba.sentData) {
+					c.violate("ec", "flow %d block %d declared decodable with %d distinct deliveries < %d data shards sent",
+						p.Flow, p.AckBlock, len(ba.delivered), len(ba.sentData))
+				}
+			}
+		}
+	}
+	if c.Next != nil {
+		c.Next.PacketSent(h, p)
+	}
+}
+
+// PacketDelivered implements Observer.
+func (c *InvariantChecker) PacketDelivered(l *Link, p *Packet) {
+	c.event()
+	c.checkNotFreed(p, "delivery")
+	now := c.net.Now()
+	info, known := c.live[p]
+	if !known {
+		if p.Type == Cnm {
+			// CNMs are injected at switches (no PacketSent event); register
+			// them on first sighting.
+			info = pktInfo{flow: p.Flow, sentAt: now}
+			c.live[p] = info
+			c.flow(p.Flow).injected++
+		} else {
+			c.violate("conservation", "packet delivered without a send event (id=%d type=%v flow=%d)",
+				p.ID, p.Type, p.Flow)
+			info = pktInfo{flow: p.Flow, sentAt: now}
+			c.live[p] = info
+		}
+	}
+	if info.flow != p.Flow {
+		c.violate("conservation", "packet changed flow in flight: sent on %d, delivered on %d", info.flow, p.Flow)
+	}
+	if now < info.sentAt {
+		c.violate("time", "packet delivered at %v before its send at %v", now, info.sentAt)
+	}
+	if _, terminal := l.To().(*Host); terminal {
+		delete(c.live, p)
+		c.flow(p.Flow).delivered++
+		if p.Type == Data && p.Block >= 0 {
+			ba := c.block(p.Flow, p.Block)
+			if p.Trimmed {
+				ba.trims++
+			} else {
+				ba.delivered[p.BlockIdx] = struct{}{}
+			}
+		}
+	}
+	if c.Next != nil {
+		c.Next.PacketDelivered(l, p)
+	}
+}
+
+// PacketDropped implements Observer.
+func (c *InvariantChecker) PacketDropped(where string, reason DropReason, p *Packet) {
+	c.event()
+	c.checkNotFreed(p, "drop")
+	if _, known := c.live[p]; !known {
+		if p.Type == Cnm {
+			c.flow(p.Flow).injected++
+		} else {
+			c.violate("conservation", "packet dropped without a send event (id=%d type=%v flow=%d at %s)",
+				p.ID, p.Type, p.Flow, where)
+		}
+	}
+	delete(c.live, p)
+	c.flow(p.Flow).dropped++
+	if p.Type == Data && p.Block >= 0 {
+		c.block(p.Flow, p.Block).drops++
+	}
+	// Drops correlate with full queues — the interesting moment for the
+	// occupancy invariants — so re-verify unconditionally.
+	c.checkQueues()
+	if c.Next != nil {
+		c.Next.PacketDropped(where, reason, p)
+	}
+}
+
+// onAlloc implements the pool hook: every packet handed out must be a full
+// zero value (modulo the retained Missing capacity and the pooled mark).
+func (c *InvariantChecker) onAlloc(p *Packet) {
+	delete(c.freed, p)
+	if _, ok := c.pooledOut[p]; ok {
+		c.violate("pool", "AllocPacket returned a packet that is already checked out")
+	}
+	c.pooledOut[p] = struct{}{}
+	if len(p.Missing) != 0 {
+		c.violate("pool", "recycled packet has non-truncated Missing (len %d)", len(p.Missing))
+		return
+	}
+	tmp := *p
+	tmp.pooled = false
+	tmp.Missing = nil
+	if !reflect.DeepEqual(tmp, Packet{}) {
+		c.violate("pool", "recycled packet not fully reset: %+v", tmp)
+	}
+}
+
+// onFree implements the pool hook: freeing clears the checked-out mark;
+// a second free of the same packet (now unpooled) is the double-free case
+// FreePacket silently ignores but the checker flags.
+func (c *InvariantChecker) onFree(p *Packet) {
+	if p == nil {
+		return
+	}
+	if !p.pooled {
+		if _, ok := c.freed[p]; ok {
+			c.violate("pool", "packet double-freed (id=%d type=%v flow=%d)", p.ID, p.Type, p.Flow)
+		}
+		return
+	}
+	delete(c.pooledOut, p)
+	c.freed[p] = struct{}{}
+	if info, inFabric := c.live[p]; inFabric {
+		c.violate("pool", "packet freed while still in fabric (flow %d, sent %v)", info.flow, info.sentAt)
+	}
+}
+
+// checkQueues re-verifies every port, phantom queue, and link FIFO in the
+// network from first principles.
+func (c *InvariantChecker) checkQueues() {
+	now := c.net.Now()
+	for _, node := range c.net.nodes {
+		switch n := node.(type) {
+		case *Host:
+			if n.nic != nil {
+				c.checkPort(n.nic, now)
+			}
+		case *Switch:
+			for _, pt := range n.ports {
+				c.checkPort(pt, now)
+			}
+		}
+	}
+}
+
+func (c *InvariantChecker) checkPort(p *Port, now eventq.Time) {
+	name := p.owner.Name()
+	var sum, dataSum int64
+	scan := func(pkt *Packet) {
+		sum += int64(pkt.Size)
+		if pkt.Type == Data && !pkt.Trimmed {
+			dataSum += int64(pkt.Size)
+		}
+	}
+	if len(p.classQ) > 0 {
+		for ci := range p.classQ {
+			var classSum int64
+			for _, pkt := range p.classQ[ci][p.classHead[ci]:] {
+				scan(pkt)
+				classSum += int64(pkt.Size)
+			}
+			if classSum != p.classBytes[ci] {
+				c.violate("queue", "%s port class %d: classBytes %d != recomputed %d",
+					name, ci, p.classBytes[ci], classSum)
+			}
+		}
+	} else {
+		for _, pkt := range p.queue[p.head:] {
+			scan(pkt)
+		}
+	}
+	if sum != p.queuedBytes {
+		c.violate("queue", "%s port: queuedBytes %d != recomputed %d", name, p.queuedBytes, sum)
+	}
+	if p.queuedBytes < 0 {
+		c.violate("queue", "%s port: negative occupancy %d", name, p.queuedBytes)
+	}
+	if dataSum > p.cfg.QueueCap {
+		c.violate("queue", "%s port: data occupancy %d exceeds QueueCap %d", name, dataSum, p.cfg.QueueCap)
+	}
+	if p.busy != (p.txPkt != nil) {
+		c.violate("queue", "%s port: busy=%v but txPkt set=%v", name, p.busy, p.txPkt != nil)
+	}
+	if ph := p.cfg.Phantom; ph != nil {
+		if ph.bytes < 0 || ph.bytes > float64(ph.Cap) {
+			c.violate("queue", "%s port: phantom occupancy %.1f outside [0, %d]", name, ph.bytes, ph.Cap)
+		}
+		if ph.lastUpdate > now {
+			c.violate("queue", "%s port: phantom drain clock %v ahead of now %v", name, ph.lastUpdate, now)
+		}
+	}
+	l := p.link
+	if got := len(l.arrivals) - l.arrHead; got > 0 {
+		if got != l.inFlight {
+			c.violate("queue", "link %s: FIFO holds %d arrivals but inFlight is %d", l.Name, got, l.inFlight)
+		}
+		prev := l.arrivals[l.arrHead]
+		for _, a := range l.arrivals[l.arrHead+1:] {
+			if a.at < prev.at || (a.at == prev.at && a.seq <= prev.seq) {
+				c.violate("queue", "link %s: arrival FIFO out of (time, seq) order: (%v, %d) after (%v, %d)",
+					l.Name, a.at, a.seq, prev.at, prev.seq)
+			}
+			prev = a
+		}
+		if prev := l.arrivals[l.arrHead]; prev.at < now {
+			c.violate("time", "link %s: head arrival at %v is stale (now %v)", l.Name, prev.at, now)
+		}
+	}
+	if l.inFlight < 0 {
+		c.violate("queue", "link %s: negative in-flight count %d", l.Name, l.inFlight)
+	}
+}
+
+// Check runs the final sweep — queue state, physical in-flight
+// reconciliation, per-flow conservation, and EC block completion — and
+// returns every violation recorded over the whole run. Call it when the
+// scenario ends (quiescent or not: packets still in queues or on links
+// count as in flight).
+func (c *InvariantChecker) Check() []Violation {
+	c.checkQueues()
+
+	// Physical walk: every packet sitting in a port queue or transmitter.
+	inPorts := make(map[*Packet]struct{})
+	inflight := make(map[FlowID]int64)
+	extraInjected := make(map[FlowID]int64)
+	linkInFlight := 0
+	collect := func(pkt *Packet) {
+		if _, dup := inPorts[pkt]; dup {
+			c.violate("conservation", "packet queued twice (id=%d flow=%d)", pkt.ID, pkt.Flow)
+		}
+		inPorts[pkt] = struct{}{}
+		inflight[pkt.Flow]++
+		if _, live := c.live[pkt]; !live {
+			if pkt.Type == Cnm {
+				extraInjected[pkt.Flow]++ // injected at a switch, never yet observed
+			} else {
+				c.violate("conservation", "packet in a queue without a send event (id=%d type=%v flow=%d)",
+					pkt.ID, pkt.Type, pkt.Flow)
+			}
+		}
+	}
+	walkPort := func(p *Port) {
+		if len(p.classQ) > 0 {
+			for ci := range p.classQ {
+				for _, pkt := range p.classQ[ci][p.classHead[ci]:] {
+					collect(pkt)
+				}
+			}
+		} else {
+			for _, pkt := range p.queue[p.head:] {
+				collect(pkt)
+			}
+		}
+		if p.txPkt != nil {
+			collect(p.txPkt)
+		}
+		linkInFlight += p.link.inFlight
+	}
+	for _, node := range c.net.nodes {
+		switch n := node.(type) {
+		case *Host:
+			if n.nic != nil {
+				walkPort(n.nic)
+			}
+		case *Switch:
+			for _, pt := range n.ports {
+				walkPort(pt)
+			}
+		}
+	}
+
+	// Every tracked-live packet not found in a port must be propagating on
+	// a link; the total must match the links' own in-flight counters.
+	onLinks := 0
+	for pkt, info := range c.live {
+		if _, ok := inPorts[pkt]; ok {
+			continue
+		}
+		onLinks++
+		inflight[info.flow]++
+	}
+	if onLinks != linkInFlight {
+		c.violate("conservation", "%d live packets unaccounted by ports vs %d in flight on links",
+			onLinks, linkInFlight)
+	}
+
+	// Per-flow conservation: injected = delivered + dropped + in-flight.
+	for id, fa := range c.flows {
+		injected := fa.injected + extraInjected[id]
+		if injected != fa.delivered+fa.dropped+inflight[id] {
+			c.violate("conservation",
+				"flow %d: injected %d != delivered %d + dropped %d + in-flight %d",
+				id, injected, fa.delivered, fa.dropped, inflight[id])
+		}
+	}
+
+	// EC block completion: every block of a completed flow must have been
+	// declared decodable; a block holding a full data-shard set must not
+	// be left undeclared.
+	for key, ba := range c.blocks {
+		if ba.ok {
+			continue
+		}
+		if fa := c.flows[key.flow]; fa != nil && fa.done {
+			c.violate("ec", "flow %d completed but block %d was never declared decodable", key.flow, key.block)
+		}
+		if c.ECData > 0 && len(ba.delivered) >= c.ECData {
+			c.violate("ec", "flow %d block %d: %d distinct packets delivered (>= %d data shards) but never declared decodable",
+				key.flow, key.block, len(ba.delivered), c.ECData)
+		}
+	}
+
+	if c.truncated {
+		c.violate("time", "violation log truncated at %d entries", maxViolations)
+	}
+	return c.violations
+}

@@ -50,6 +50,11 @@ type Link struct {
 	arrHead  int
 	arrTimer *eventq.Timer
 
+	// inFlight counts packets propagating on the link (delivered to it,
+	// not yet arrived downstream), in both delivery modes. The invariant
+	// layer reconciles it against its own packet accounting.
+	inFlight int
+
 	stats LinkStats
 }
 
@@ -108,6 +113,7 @@ func (l *Link) deliver(p *Packet) {
 	}
 	l.stats.Delivered++
 	l.stats.Bytes += uint64(p.Size)
+	l.inFlight++
 	if !l.net.batch {
 		l.net.Sched.AfterArg(l.Delay, l.arriveFn, p)
 		return
@@ -125,6 +131,7 @@ func (l *Link) deliver(p *Packet) {
 // free (the packet pointer rides in the event's arg slot).
 func (l *Link) arrive(x any) {
 	p := x.(*Packet)
+	l.inFlight--
 	if l.net.Observer != nil {
 		l.net.Observer.PacketDelivered(l, p)
 	}
@@ -138,6 +145,7 @@ func (l *Link) arrive(x any) {
 // reserved pair before handing the packet on, so a HandlePacket cascade
 // that reaches deliver again observes a consistent FIFO.
 func (l *Link) arriveHead() {
+	l.inFlight--
 	a := l.arrivals[l.arrHead]
 	l.arrivals[l.arrHead] = linkArrival{}
 	l.arrHead++

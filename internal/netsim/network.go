@@ -30,10 +30,26 @@ type Network struct {
 	// (sends, deliveries, drops) for tracing and telemetry.
 	Observer Observer
 
+	// poolHook, when non-nil, sees every AllocPacket/FreePacket call
+	// (invariant checking — see AttachInvariants). Costs one nil check per
+	// pool operation when absent.
+	poolHook poolHook
+
+	// skipRecycleReset is the seeded defect for the invariant layer's
+	// mutation smoke test: FreePacket returns packets to the pool without
+	// the full reset. Set only from this package's tests.
+	skipRecycleReset bool
+
 	// batch selects batched link delivery (batch.go), captured from the
 	// package default at New and overridable with SetBatchDelivery before
 	// traffic flows.
 	batch bool
+}
+
+// poolHook receives packet-pool lifecycle events (invariant checking).
+type poolHook interface {
+	onAlloc(p *Packet)
+	onFree(p *Packet)
 }
 
 // New creates an empty network with the given random seed.
@@ -85,14 +101,19 @@ func (n *Network) NextPacketID() uint64 {
 // indistinguishable from &Packet{} except that the Missing slice may carry
 // reusable capacity (always length zero).
 func (n *Network) AllocPacket() *Packet {
+	var p *Packet
 	if k := len(n.pool) - 1; k >= 0 {
-		p := n.pool[k]
+		p = n.pool[k]
 		n.pool[k] = nil
 		n.pool = n.pool[:k]
 		p.pooled = true
-		return p
+	} else {
+		p = &Packet{pooled: true}
 	}
-	return &Packet{pooled: true}
+	if n.poolHook != nil {
+		n.poolHook.onAlloc(p)
+	}
+	return p
 }
 
 // FreePacket returns p to the free list. It is a no-op for nil packets, for
@@ -107,7 +128,14 @@ func (n *Network) AllocPacket() *Packet {
 // returns) frees it. Handlers and observers must not retain packets beyond
 // their callback.
 func (n *Network) FreePacket(p *Packet) {
+	if n.poolHook != nil {
+		n.poolHook.onFree(p)
+	}
 	if p == nil || !p.pooled {
+		return
+	}
+	if n.skipRecycleReset {
+		n.pool = append(n.pool, p)
 		return
 	}
 	missing := p.Missing[:0]

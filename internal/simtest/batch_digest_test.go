@@ -9,8 +9,8 @@ import (
 // TestGoldenDigestBatchDifferential is the digest gate for batched link
 // delivery: the same scenarios must produce bit-identical fingerprints
 // with batching on and off, in one process, regardless of what UNO_BATCH
-// the suite itself runs under. (The four UNO_SCHED × UNO_BATCH CI combos
-// additionally pin both modes to the golden constants.)
+// the suite itself runs under. (The two UNO_BATCH CI runs additionally
+// pin both modes to the golden constants.)
 func TestGoldenDigestBatchDifferential(t *testing.T) {
 	prev := netsim.BatchDefault()
 	t.Cleanup(func() { netsim.SetBatchDefault(prev) })

@@ -47,6 +47,10 @@ func runIncast(t *testing.T, withLoss bool) uint64 {
 	in := simtest.NewIncast(9, bw100G, delays, simtest.PortConfig())
 	dg := netsim.NewDigestObserver(in.Net)
 	in.Net.Observer = dg
+	// The invariant checker wraps the digest: it forwards every event
+	// unchanged and draws no randomness, so the goldens below must not move.
+	ic := netsim.AttachInvariants(in.Net)
+	defer assertNoViolations(t, ic)
 	if withLoss {
 		ge := failure.NewTable1Loss(failure.Setup1, rng.New(77))
 		ge.PGoodToBad *= 1000
@@ -86,6 +90,8 @@ func runDumbbell(t *testing.T) uint64 {
 	p := simtest.NewParallel(5, bw100G, 4, 5*eventq.Microsecond)
 	dg := netsim.NewDigestObserver(p.Net)
 	p.Net.Observer = dg
+	ic := netsim.AttachInvariants(p.Net)
+	defer assertNoViolations(t, ic)
 	flow := &transport.Flow{ID: 1, Src: p.A, Dst: p.B, Size: 2 << 20, Start: 0}
 	rtt := 4 * (5*eventq.Microsecond +
 		netsim.SerializationTime(4096+transport.HeaderSize, bw100G))

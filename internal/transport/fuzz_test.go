@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"testing"
+
+	"uno/internal/eventq"
+	"uno/internal/netsim"
+)
+
+// FuzzReceiverPacket hardens the transport demultiplexer and the receiver
+// against hostile packet headers: while a legitimate EC flow runs over the
+// dumbbell, arbitrary packets decoded from the fuzz input — out-of-range
+// sequence numbers, unknown flow ids, wrong packet types for the
+// direction, trimmed/rtx/marked flag combinations, duplicate data — are
+// injected straight into the receiving host. The transport must neither
+// panic nor stall the legitimate flow.
+//
+// The one fabric-provided field the decoder constrains is SentAt, which is
+// clamped to the past: timestamps are stamped by the local clock on send,
+// so a future SentAt cannot reach a receiver whose fabric shares that
+// clock, and the echo-RTT math is allowed to rely on it.
+func FuzzReceiverPacket(f *testing.F) {
+	f.Add([]byte{})
+	// One well-formed duplicate data packet.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x01})
+	// Unknown flow, wrong-direction ACK, out-of-range sequence.
+	f.Add([]byte{0x41, 0xff, 0xff, 0x07, 0x01, 0x13, 0x80, 0x00, 0x22})
+	// Trim/rtx/mark flag sweep on consecutive sequences.
+	f.Add([]byte{0x08, 0x00, 0x01, 0x10, 0x00, 0x02, 0x18, 0x00, 0x03, 0x38, 0x00, 0x04})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 2048 {
+			t.Skip("injection script longer than the budget")
+		}
+		d := newDumbbell(11, gbps100)
+		flow := &Flow{ID: 1, Src: d.a, Dst: d.b, Size: 1 << 18, Start: 0}
+		params := d.baseParams()
+		params.EC = ECConfig{Data: 8, Parity: 2, BlockTimeout: 50 * eventq.Microsecond}
+		conn := MustStart(d.epA, d.epB, flow, params,
+			&FixedWindow{Window: 16 * 4160}, &FixedEntropy{}, nil)
+
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		// Injections are spread over the flow's lifetime so they interleave
+		// with every receiver state: ramp-up, steady state, completion.
+		at := eventq.Time(0)
+		for pos < len(data) {
+			ctl := next()
+			at += eventq.Time(ctl) * eventq.Microsecond / 4
+			seq := int64(next())<<8 | int64(next())
+			if ctl&0x80 != 0 {
+				seq = -seq // exercise the negative range check
+			}
+			injectAt, injCtl := at, ctl
+			injSeq := seq
+			d.net.Sched.Schedule(injectAt, func() {
+				p := d.net.AllocPacket()
+				switch injCtl & 0x03 {
+				case 0, 1:
+					p.Type = netsim.Data
+				case 2:
+					p.Type = netsim.Ack // wrong direction: b has no sender
+				default:
+					p.Type = netsim.Nack
+				}
+				p.Flow = netsim.FlowID(1 + int(injCtl>>6)&0x01*41) // flow 1 or unknown 42
+				p.Src = d.a.ID()
+				p.Dst = d.b.ID()
+				p.Seq = injSeq
+				p.AckSeq = injSeq
+				p.Size = 64 + int(injCtl)*16
+				p.Trimmed = injCtl&0x08 != 0
+				p.IsRtx = injCtl&0x10 != 0
+				p.ECNMarked = injCtl&0x20 != 0
+				p.Subflow = int8(injCtl >> 4)
+				p.AckBlock = -1
+				p.SentAt = d.net.Now() - eventq.Time(injCtl)*eventq.Microsecond
+				if p.SentAt < 0 {
+					p.SentAt = 0
+				}
+				d.b.HandlePacket(p)
+			})
+		}
+
+		d.net.Sched.RunUntil(eventq.Second)
+		if !conn.Completed() {
+			t.Fatal("legitimate flow stalled by injected packets")
+		}
+		rcv := d.epB.Receiver(1)
+		if rcv == nil {
+			t.Fatal("receiver disappeared")
+		}
+	})
+}

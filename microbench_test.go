@@ -18,32 +18,23 @@ import (
 	"uno/internal/transport"
 )
 
-// eventqKinds enumerates both queue backends so the engine microbenchmarks
-// report a per-kind cost and a wheel-vs-heap regression is visible without
-// rerunning under UNO_SCHED.
-var eventqKinds = []eventq.Kind{eventq.Wheel, eventq.Heap}
-
 // BenchmarkEventqPushPop measures one schedule+dispatch cycle with recycled
-// events, at a realistic pending-event depth, for each queue backend.
+// events, at a realistic pending-event depth.
 func BenchmarkEventqPushPop(b *testing.B) {
-	for _, kind := range eventqKinds {
-		b.Run(kind.String(), func(b *testing.B) {
-			s := eventq.NewKind(kind)
-			fn := func(any) {}
-			const depth = 1024
-			b.ReportAllocs()
-			for i := 0; i < b.N; i += depth {
-				n := depth
-				if rem := b.N - i; rem < n {
-					n = rem
-				}
-				for j := 0; j < n; j++ {
-					// Knuth-hash the index so pushes land unordered in the queue.
-					s.AfterArg(eventq.Time(1+(uint64(j)*2654435761)%4096), fn, nil)
-				}
-				s.Run()
-			}
-		})
+	s := eventq.New()
+	fn := func(any) {}
+	const depth = 1024
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += depth {
+		n := depth
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			// Knuth-hash the index so pushes land unordered in the queue.
+			s.AfterArg(eventq.Time(1+(uint64(j)*2654435761)%4096), fn, nil)
+		}
+		s.Run()
 	}
 }
 
@@ -57,8 +48,7 @@ func BenchmarkEventqPushPop(b *testing.B) {
 // L2, where pointer-chasing is cheap anyway; 65536 pending events push the
 // working set past the last-level cache — the simulation-scale regime
 // (millions of in-flight events per simulated second) whose cache misses
-// motivated the slab layout. The heap sub-benchmark is the same workload on
-// the O(log n) backend for comparison.
+// motivated the slab layout.
 func BenchmarkWheelInsert(b *testing.B) {
 	// One delay per wheel level region (≈2 ns, ≈300 ns, ≈20 µs, ≈1.3 ms,
 	// ≈86 ms), plus a jitter stride that spreads events across slots.
@@ -69,42 +59,36 @@ func BenchmarkWheelInsert(b *testing.B) {
 		1300 * eventq.Microsecond,
 		86 * eventq.Millisecond,
 	}
-	for _, kind := range eventqKinds {
-		for _, depth := range []int{4096, 65536} {
-			b.Run(fmt.Sprintf("%s/depth=%d", kind, depth), func(b *testing.B) {
-				s := eventq.NewKind(kind)
-				fn := func(any) {}
-				sched := func(i int) {
-					d := delays[i%len(delays)] + eventq.Time((uint64(i)*2654435761)%4096)
-					s.AfterArg(d, fn, nil)
-				}
-				for j := 0; j < depth; j++ {
-					sched(j)
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					sched(i)
-					s.Step()
-				}
-			})
-		}
+	for _, depth := range []int{4096, 65536} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			s := eventq.New()
+			fn := func(any) {}
+			sched := func(i int) {
+				d := delays[i%len(delays)] + eventq.Time((uint64(i)*2654435761)%4096)
+				s.AfterArg(d, fn, nil)
+			}
+			for j := 0; j < depth; j++ {
+				sched(j)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sched(i)
+				s.Step()
+			}
+		})
 	}
 }
 
 // BenchmarkEventqTimerReset measures the rearm-and-fire cycle of a reusable
 // Timer — the pattern every port, pacer, and RTO in the simulator uses.
 func BenchmarkEventqTimerReset(b *testing.B) {
-	for _, kind := range eventqKinds {
-		b.Run(kind.String(), func(b *testing.B) {
-			s := eventq.NewKind(kind)
-			timer := s.NewTimer(func() {})
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				timer.ResetAfter(10)
-				s.Run()
-			}
-		})
+	s := eventq.New()
+	timer := s.NewTimer(func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		timer.ResetAfter(10)
+		s.Run()
 	}
 }
 

@@ -19,30 +19,53 @@ go build ./...
 echo "== go vet ./... =="
 go vet ./...
 
-echo "== go test ./... =="
-go test ./...
+echo "== go test ./... (with coverage profile) =="
+go test -coverprofile=coverage.out ./...
 
-# The golden digests must be byte-identical under both event-queue
-# backends (the timing wheel is the default; the 4-ary heap stays behind
-# -sched/UNO_SCHED until retired) and with batched link delivery on and
-# off (-batch/UNO_BATCH). The full suite above already ran with the
-# defaults; rerun the digest suite once per explicit combination.
-for sched in wheel heap; do
-    for batch in on off; do
-        echo "== golden digests, UNO_SCHED=$sched UNO_BATCH=$batch =="
-        UNO_SCHED=$sched UNO_BATCH=$batch go test -count=1 ./internal/simtest/
-    done
+# Soft coverage gate: warn — never fail — if total statement coverage
+# drops below the committed baseline (scripts/coverage_baseline.txt,
+# refreshed deliberately when coverage moves for a good reason).
+TOTAL="$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+rm -f coverage.out
+BASELINE_FILE=scripts/coverage_baseline.txt
+if [ -f "$BASELINE_FILE" ]; then
+    BASELINE="$(cat "$BASELINE_FILE")"
+    echo "== coverage gate (soft): total ${TOTAL}%, baseline ${BASELINE}% =="
+    if awk -v t="$TOTAL" -v b="$BASELINE" 'BEGIN { exit !(t < b - 0.2) }'; then
+        echo "ci: WARNING: coverage ${TOTAL}% is below baseline ${BASELINE}% (soft gate, not fatal; refresh $BASELINE_FILE if the drop is intentional)"
+    fi
+else
+    echo "${TOTAL}" > "$BASELINE_FILE"
+    echo "ci: wrote initial coverage baseline ${TOTAL}% to $BASELINE_FILE"
+fi
+
+# The golden digests — and the invariant observers attached to every
+# golden scenario (netsim.AttachInvariants in internal/simtest) — must
+# hold with batched link delivery on and off (-batch/UNO_BATCH). The full
+# suite above already ran with the default; rerun the digest + invariant
+# suite once per explicit mode.
+for batch in on off; do
+    echo "== golden digests + invariants, UNO_BATCH=$batch =="
+    UNO_BATCH=$batch go test -count=1 ./internal/simtest/
 done
 
-# The eventq differential property tests (heap-vs-wheel fire sequences,
-# ReserveSeq boundary interleavings) are the proof obligations of the
-# arena-backed wheel layout; run them explicitly under the race detector
-# with caching disabled so a wheel change can never ride a stale cache
-# entry through the full -race sweep below.
-echo "== eventq differential property tests, -race -count=1 =="
+# The eventq property tests (wheel-vs-reference-model fire sequences,
+# ReserveSeq boundary interleavings, stale-fire checks) are the proof
+# obligations of the wheel layout; run them explicitly under the race
+# detector with caching disabled so a wheel change can never ride a stale
+# cache entry through the full -race sweep below.
+echo "== eventq property tests, -race -count=1 =="
 go test -race -count=1 \
-    -run 'TestKindsDifferential|TestReserveSeq|TestRandomInterleavingNoStaleFires' \
+    -run 'TestWheelModelDifferential|TestReserveSeq|TestRandomInterleavingNoStaleFires' \
     ./internal/eventq/
+
+# Native fuzz targets, briefly: the differential scheduler fuzzer and the
+# transport packet-header fuzzer each get a short budget per CI run (the
+# corpus accumulates in the build cache across runs; crashes fail CI).
+FUZZTIME="${UNO_FUZZTIME:-10s}"
+echo "== fuzz smoke, -fuzztime $FUZZTIME each =="
+go test -run '^$' -fuzz '^FuzzSchedulerOps$' -fuzztime "$FUZZTIME" ./internal/eventq/
+go test -run '^$' -fuzz '^FuzzReceiverPacket$' -fuzztime "$FUZZTIME" ./internal/transport/
 
 echo "== go test -race ./... =="
 go test -race ./...
