@@ -149,8 +149,32 @@ type Scheduler struct {
 	seq      uint64
 	executed uint64
 	stopped  bool
-	arena    arena   // slab holding every Event of this scheduler
-	free     []int32 // slab indices of recycled fire-and-forget events
+
+	// running/runDeadline gate InlineNext: they are set only while Run or
+	// RunUntil is dispatching (with the loop's deadline), so a batching
+	// callback can prove its next deferred firing would be the very next
+	// event the loop dispatches. Step never sets them — its one-event
+	// contract must not be widened by inline execution.
+	running     bool
+	runDeadline Time
+
+	// inlineTry/inlineOK count InlineNext probes and successes (telemetry:
+	// the batch fast path only pays off when the success rate is high, so
+	// benchmarks report it).
+	inlineTry uint64
+	inlineOK  uint64
+
+	arena arena   // slab holding every Event of this scheduler
+	free  []int32 // slab indices of recycled fire-and-forget events
+
+	// peeked caches the queue's minimum between structural changes: a
+	// peek fills it, a pop or remove of that event clears it, and an
+	// insert replaces it only when the new event is smaller (in which
+	// case the new event *is* the minimum). It makes the
+	// InlineNext-probe-then-dispatch sequence scan the wheel once
+	// instead of twice, and back-to-back inline deliveries cost one
+	// pointer compare each.
+	peeked *Event
 
 	w *wheel // the timing-wheel queue (with its own overflow heap)
 }
@@ -179,8 +203,14 @@ func (s *Scheduler) FreeEvents() int { return len(s.free) }
 
 // ---- queue operations ----
 
-// push enqueues e into the wheel.
-func (s *Scheduler) push(e *Event) { s.w.insert(e) }
+// push enqueues e into the wheel, keeping the min cache coherent: an
+// insert below the cached minimum is by definition the new minimum.
+func (s *Scheduler) push(e *Event) {
+	if p := s.peeked; p != nil && eventLess(e, p) {
+		s.peeked = e
+	}
+	s.w.insert(e)
+}
 
 // maxTime is an effectively infinite deadline for unbounded peeks.
 const maxTime = Time(1<<63 - 1)
@@ -188,26 +218,48 @@ const maxTime = Time(1<<63 - 1)
 // peekUntil returns the earliest queued event if its deadline is at or
 // before deadline, else nil. The wheel may cascade internally, but never
 // past deadline, so a caller that then stops and clocks forward to deadline
-// keeps every future insert at or after the wheel position.
+// keeps every future insert at or after the wheel position. A cached
+// minimum short-circuits the wheel scan entirely (popKnown performs its
+// own cascade, so serving from the cache skips no required work).
 func (s *Scheduler) peekUntil(deadline Time) *Event {
-	return s.w.peekUntil(deadline)
+	if p := s.peeked; p != nil {
+		if p.at <= deadline {
+			return p
+		}
+		return nil
+	}
+	e := s.w.peekUntil(deadline)
+	if e != nil {
+		s.peeked = e
+	}
+	return e
 }
 
 // popKnown dequeues e, which must be the event peekUntil just returned.
-func (s *Scheduler) popKnown(e *Event) { s.w.popKnown(e) }
+func (s *Scheduler) popKnown(e *Event) {
+	if s.peeked == e {
+		s.peeked = nil
+	}
+	s.w.popKnown(e)
+}
 
 // popMin dequeues and returns the earliest event, or nil when empty.
 func (s *Scheduler) popMin() *Event {
-	e := s.w.peekUntil(maxTime)
+	e := s.peekUntil(maxTime)
 	if e != nil {
-		s.w.popKnown(e)
+		s.popKnown(e)
 	}
 	return e
 }
 
 // remove deletes a queued event from an arbitrary position (Timer
 // rescheduling); no-op if e is not queued.
-func (s *Scheduler) remove(e *Event) { s.w.remove(e) }
+func (s *Scheduler) remove(e *Event) {
+	if s.peeked == e {
+		s.peeked = nil
+	}
+	s.w.remove(e)
+}
 
 // ---- event allocation ----
 
@@ -303,6 +355,39 @@ func (s *Scheduler) ReserveSeq() uint64 {
 // callback completes.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// InlineNext is the batching caller's fast path: a callback that holds a
+// deferred (time, seq) pair — reserved with ReserveSeq — asks whether that
+// pair is the very next thing the running dispatch loop would execute. If
+// so, the scheduler advances the clock to at, accounts one executed event,
+// and returns true: the caller runs the work inline instead of arming a
+// timer, skipping a wheel insert, cascade, and pop per event. Otherwise
+// (an earlier or seq-intervening event is queued, at is past the loop's
+// deadline, no loop is running, or Stop was called) it returns false and
+// the caller must schedule normally (Timer.ResetSeq).
+//
+// Correctness leans on two properties: peekUntil never cascades the wheel
+// past its argument, so probing at `at` keeps the wheel position ≤ at and
+// every future insert still lands at or after it; and the total (time,
+// seq) order is untouched — inline execution fires the pair at exactly
+// the moment the dispatch loop would have popped its timer event.
+func (s *Scheduler) InlineNext(at Time, seq uint64) bool {
+	s.inlineTry++
+	if !s.running || s.stopped || at > s.runDeadline || at < s.now {
+		return false
+	}
+	if e := s.peekUntil(at); e != nil && (e.at < at || (e.at == at && e.seq < seq)) {
+		return false
+	}
+	s.inlineOK++
+	s.now = at
+	s.executed++
+	return true
+}
+
+// InlineStats returns how many InlineNext probes have been made and how
+// many succeeded (ran their event inline).
+func (s *Scheduler) InlineStats() (try, ok uint64) { return s.inlineTry, s.inlineOK }
+
 // runEvent advances the clock to e and executes its callback. Recyclable
 // events return to the free list *before* the callback runs, so a
 // steady-state chain (fire → reschedule) reuses a single Event object.
@@ -322,6 +407,8 @@ func (s *Scheduler) runEvent(e *Event) {
 // deadline so subsequent scheduling is relative to it.
 func (s *Scheduler) RunUntil(deadline Time) {
 	s.stopped = false
+	prevRunning, prevDeadline := s.running, s.runDeadline
+	s.running, s.runDeadline = true, deadline
 	for !s.stopped {
 		next := s.peekUntil(deadline)
 		if next == nil {
@@ -333,6 +420,7 @@ func (s *Scheduler) RunUntil(deadline Time) {
 		}
 		s.runEvent(next)
 	}
+	s.running, s.runDeadline = prevRunning, prevDeadline
 	if s.now < deadline {
 		s.now = deadline
 	}
@@ -341,6 +429,8 @@ func (s *Scheduler) RunUntil(deadline Time) {
 // Run executes events until the queue drains or Stop is called.
 func (s *Scheduler) Run() {
 	s.stopped = false
+	prevRunning, prevDeadline := s.running, s.runDeadline
+	s.running, s.runDeadline = true, maxTime
 	for !s.stopped {
 		next := s.popMin()
 		if next == nil {
@@ -351,6 +441,7 @@ func (s *Scheduler) Run() {
 		}
 		s.runEvent(next)
 	}
+	s.running, s.runDeadline = prevRunning, prevDeadline
 }
 
 // Step executes exactly one non-cancelled event and reports whether one was

@@ -1,0 +1,130 @@
+package eventq
+
+import "testing"
+
+// Contract tests for InlineNext, the batching caller's fast path: it may
+// execute a reserved (time, seq) continuation inline only when nothing
+// else could legally run first, and it must account the inline event
+// exactly like a dispatched one (clock, executed count, InlineStats).
+
+// TestInlineNextOutsideRun: with no dispatch loop running there is no
+// "next event" to stand in for — the probe must refuse.
+func TestInlineNextOutsideRun(t *testing.T) {
+	s := New()
+	seq := s.ReserveSeq()
+	if s.InlineNext(10, seq) {
+		t.Fatal("InlineNext succeeded outside a running dispatch loop")
+	}
+	if try, ok := s.InlineStats(); try != 1 || ok != 0 {
+		t.Fatalf("InlineStats = (%d, %d), want (1, 0)", try, ok)
+	}
+}
+
+// TestInlineNextSucceedsWhenTrulyNext: a reserved pair with nothing
+// queued before it runs inline — clock advanced, event accounted — and a
+// later event still fires afterwards.
+func TestInlineNextSucceedsWhenTrulyNext(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(5, func() {
+		seq := s.ReserveSeq()
+		s.Schedule(100, func() { order = append(order, 2) })
+		if !s.InlineNext(20, seq) {
+			t.Fatal("InlineNext refused a pair that is provably next")
+		}
+		if s.Now() != 20 {
+			t.Fatalf("inline success left the clock at %d, want 20", s.Now())
+		}
+		order = append(order, 1)
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("fire order %v, want [1 2]", order)
+	}
+	if s.Executed() != 3 { // two dispatched + one inline
+		t.Fatalf("Executed = %d, want 3 (inline event must be accounted)", s.Executed())
+	}
+	if try, ok := s.InlineStats(); try != 1 || ok != 1 {
+		t.Fatalf("InlineStats = (%d, %d), want (1, 1)", try, ok)
+	}
+}
+
+// TestInlineNextRefusesInterveningEvent: an event strictly between now
+// and the probed pair — earlier time, or same time with a smaller seq —
+// forces the slow path.
+func TestInlineNextRefusesInterveningEvent(t *testing.T) {
+	s := New()
+	ran := false
+	s.Schedule(5, func() {
+		seq := s.ReserveSeq()
+		s.Schedule(15, func() {}) // earlier than the probe's 20
+		if s.InlineNext(20, seq) {
+			t.Fatal("InlineNext jumped over an earlier event")
+		}
+		// Same time, earlier seq: the Schedule above consumed a smaller
+		// seq than this fresh reservation, so probing at its own time must
+		// also refuse.
+		seq2 := s.ReserveSeq()
+		if s.InlineNext(15, seq2) {
+			t.Fatal("InlineNext jumped over a same-time smaller-seq event")
+		}
+		ran = true
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("probe callback never ran")
+	}
+}
+
+// TestInlineNextRespectsDeadline: RunUntil's deadline bounds the inline
+// path exactly like the dispatch loop — a pair past the deadline must
+// wait for a later run.
+func TestInlineNextRespectsDeadline(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {
+		seq := s.ReserveSeq()
+		if s.InlineNext(50, seq) {
+			t.Fatal("InlineNext ran an event past the RunUntil deadline")
+		}
+	})
+	s.RunUntil(10)
+	if s.Now() != 10 {
+		t.Fatalf("clock = %d after RunUntil(10), want 10", s.Now())
+	}
+}
+
+// TestInlineNextBlockedByStop: after Stop, the loop is winding down and
+// nothing more may run inline.
+func TestInlineNextBlockedByStop(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {
+		seq := s.ReserveSeq()
+		s.Stop()
+		if s.InlineNext(20, seq) {
+			t.Fatal("InlineNext ran an event after Stop")
+		}
+	})
+	s.Run()
+}
+
+// TestInlineNextProbeKeepsOrder: a failed probe must not disturb the
+// wheel — the intervening event and a timer armed for the probed pair
+// still fire in exact (time, seq) order.
+func TestInlineNextProbeKeepsOrder(t *testing.T) {
+	s := New()
+	var order []int
+	tm := s.NewTimer(func() { order = append(order, 2) })
+	s.Schedule(5, func() {
+		seq := s.ReserveSeq()
+		s.Schedule(15, func() { order = append(order, 1) })
+		if s.InlineNext(20, seq) {
+			t.Fatal("probe should fail")
+		}
+		tm.ResetSeq(20, seq)
+	})
+	s.Schedule(30, func() { order = append(order, 3) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order %v, want [1 2 3]", order)
+	}
+}

@@ -99,10 +99,26 @@ type wbucket struct {
 // deadline bit above wheelGranBits and the low wheelGranBits bits order
 // them; seq takes the remaining 53 bits (a simulation would need ~10^15
 // events to overflow them — comfortably unreachable).
+// The live entries occupy [head:n] of fixed-length (len == cap) arrays,
+// with n tracked explicitly: the insert hot path then writes the key, the
+// index, and one integer, where append-style slices would write back two
+// three-word slice headers per insert.
 type l0bucket struct {
-	keys []uint64 // l0key(e), sorted ascending in [head:]
+	keys []uint64 // l0key(e), sorted ascending in [head:n]
 	idx  []int32  // slab index of the event carrying keys[i]
 	head int      // consumed prefix; idx[head] is the bucket minimum
+	n    int      // live end; n == head means empty
+}
+
+// grow doubles the bucket's arrays (amortized; the larger arrays are kept
+// for the wheel's lifetime).
+func (b *l0bucket) grow() {
+	nk := make([]uint64, 2*len(b.keys))
+	copy(nk, b.keys[:b.n])
+	b.keys = nk
+	ni := make([]int32, 2*len(b.idx))
+	copy(ni, b.idx[:b.n])
+	b.idx = ni
 }
 
 // l0key packs e's (time, seq) into one comparable word (see l0bucket).
@@ -142,8 +158,8 @@ func newWheel(a *arena) *wheel {
 	keys := make([]uint64, wheelSlots*l0cap)
 	idx0 := make([]int32, wheelSlots*l0cap)
 	for s := range w.l0 {
-		w.l0[s].keys = keys[s*l0cap : s*l0cap : (s+1)*l0cap]
-		w.l0[s].idx = idx0[s*l0cap : s*l0cap : (s+1)*l0cap]
+		w.l0[s].keys = keys[s*l0cap : (s+1)*l0cap : (s+1)*l0cap]
+		w.l0[s].idx = idx0[s*l0cap : (s+1)*l0cap : (s+1)*l0cap]
 	}
 	for lvl := 1; lvl < wheelLevels; lvl++ {
 		for slot := range w.chains[lvl] {
@@ -175,24 +191,26 @@ func (w *wheel) append(c eventChunks, b *wbucket, e *Event) {
 func (w *wheel) placeL0(at Time, key uint64, self int32) int32 {
 	slot := int(uint64(at)>>wheelGranBits) & wheelSlotMask
 	b := &w.l0[slot]
-	n := len(b.keys)
+	n := b.n
+	if n == len(b.keys) {
+		b.grow()
+	}
 	if n == b.head || key >= b.keys[n-1] {
 		// Append at the tail — the monotone common case — without the
 		// memmove machinery of the insert-in-the-middle path.
-		b.keys = append(b.keys, key)
-		b.idx = append(b.idx, self)
+		b.keys[n] = key
+		b.idx[n] = self
 	} else {
 		i := n - 1
 		for i > b.head && key < b.keys[i-1] {
 			i--
 		}
-		b.keys = append(b.keys, 0)
-		copy(b.keys[i+1:], b.keys[i:])
+		copy(b.keys[i+1:n+1], b.keys[i:n])
 		b.keys[i] = key
-		b.idx = append(b.idx, 0)
-		copy(b.idx[i+1:], b.idx[i:])
+		copy(b.idx[i+1:n+1], b.idx[i:n])
 		b.idx[i] = self
 	}
+	b.n = n + 1
 	w.occupied[0] |= 1 << uint(slot)
 	return int32(slot)
 }
@@ -269,28 +287,25 @@ func (w *wheel) unlinkL0(e *Event) {
 	if b.idx[b.head] == e.self {
 		b.head++
 	} else {
-		for i := b.head + 1; i < len(b.idx); i++ {
+		for i := b.head + 1; i < b.n; i++ {
 			if b.idx[i] == e.self {
-				copy(b.keys[i:], b.keys[i+1:])
-				copy(b.idx[i:], b.idx[i+1:])
-				b.keys = b.keys[:len(b.keys)-1]
-				b.idx = b.idx[:len(b.idx)-1]
+				copy(b.keys[i:b.n-1], b.keys[i+1:b.n])
+				copy(b.idx[i:b.n-1], b.idx[i+1:b.n])
+				b.n--
 				break
 			}
 		}
 	}
 	switch {
-	case b.head == len(b.idx):
-		b.keys = b.keys[:0]
-		b.idx = b.idx[:0]
-		b.head = 0
+	case b.head == b.n:
+		b.head, b.n = 0, 0
 		w.occupied[0] &^= 1 << uint(slot)
 	case b.head >= 48:
 		// Bound the consumed prefix: a bucket fed and drained at the same
 		// deadline would otherwise grow its arrays one slot per pop.
-		b.keys = b.keys[:copy(b.keys, b.keys[b.head:])]
-		b.idx = b.idx[:copy(b.idx, b.idx[b.head:])]
-		b.head = 0
+		n := copy(b.keys, b.keys[b.head:b.n])
+		copy(b.idx, b.idx[b.head:b.n])
+		b.head, b.n = 0, n
 	}
 	e.bucket = noBucket
 }

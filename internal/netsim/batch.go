@@ -17,10 +17,21 @@ import (
 // batchDefault is what New() captures into each Network. Atomic because
 // harness workers construct networks from worker goroutines while a main
 // goroutine (flag parsing, TestMain) may set the default.
+//
+// The default is unbatched. Batched delivery wins when a link's next
+// arrival is often the next event in the whole simulation — the bursty
+// idle-link shape BenchmarkLinkDelivery isolates, where the inline drain
+// (Scheduler.InlineNext) skips the insert/cascade/pop cycle entirely. In
+// pipelined fabric traffic the forwarded packet's own transmit-done timer
+// almost always intervenes: Scheduler.InlineStats measures a 0.3% inline
+// rate on the end-to-end throughput scenario, so batching there pays the
+// arrival-FIFO and probe overhead with no skipped scheduling, and
+// interleaved A/B minima put it ~5–10% behind unbatched. Both modes stay
+// digest-identical and CI pins them differentially.
 var batchDefault atomic.Bool
 
 func init() {
-	batchDefault.Store(true)
+	batchDefault.Store(false)
 	if v := os.Getenv("UNO_BATCH"); v != "" {
 		b, err := ParseBatch(v)
 		if err != nil {

@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"testing"
+
+	"uno/internal/eventq"
+)
+
+// This file is the differential proof obligation for the deferred fold
+// mode (digest.go): buffering a busy period's words and mixing them at
+// drain time must be byte-identical to folding inline per event, in every
+// state the observer can be read in — mid-buffer, across drains, and at a
+// run stopped partway through a busy period.
+
+// runDigestTraffic drives a fixed two-host scenario past obs, pushing
+// enough packets that a deferred observer drains its buffer several times
+// (digestBufWords/4 events per drain), with tail drops mixed in so all
+// three event kinds fold. Returns the observer's final fingerprint.
+func runDigestTraffic(t *testing.T, deferred bool, packets int) (uint64, uint64) {
+	t.Helper()
+	net := New(7)
+	obs := NewDigestObserver(net)
+	obs.SetDeferred(deferred)
+	net.Observer = obs
+	sw := NewSwitch(net, "sw", directRouter{})
+	a := NewHost(net, "a", 0)
+	b := NewHost(net, "b", 0)
+	a.AttachNIC(sw, 100e9, eventq.Microsecond)
+	// A small queue on a slow egress so a burst overflows: drops fold too.
+	sw.AddPort(b, 1e9, eventq.Microsecond,
+		PortConfig{QueueCap: 32 << 10, MarkMin: 8 << 10, MarkMax: 24 << 10})
+	b.SetHandler(func(*Packet) {})
+	for i := 0; i < packets; i++ {
+		p := net.AllocPacket()
+		p.Type = Data
+		p.Src = a.ID()
+		p.Dst = b.ID()
+		p.Size = 4096
+		p.ECNCapable = true
+		p.Flow = FlowID(1 + i%3)
+		p.Seq = int64(i)
+		a.Send(p)
+	}
+	net.Sched.Run()
+	return obs.Sum(), obs.Events()
+}
+
+// TestDigestDeferredDifferential: the same scenario under inline and
+// deferred folding produces the identical fingerprint, at an event count
+// that crosses the drain boundary multiple times.
+func TestDigestDeferredDifferential(t *testing.T) {
+	// digestBufWords/4 events per buffer; 3000 packets generate well past
+	// that in sent+delivered+dropped events.
+	inline, nInline := runDigestTraffic(t, false, 3000)
+	deferred, nDeferred := runDigestTraffic(t, true, 3000)
+	if nInline != nDeferred {
+		t.Fatalf("event counts diverge: inline %d, deferred %d", nInline, nDeferred)
+	}
+	if nInline < uint64(digestBufWords/4)*2 {
+		t.Fatalf("only %d events: scenario never crossed the drain boundary twice", nInline)
+	}
+	if inline != deferred {
+		t.Fatalf("deferred digest %#016x != inline %#016x over %d events",
+			deferred, inline, nInline)
+	}
+}
+
+// TestDigestDeferredMidBufferSum: Sum read with words still buffered (a
+// run stopped mid-busy-period, before the buffer ever filled) must equal
+// the inline digest of the same prefix — the drain-at-run-end edge case.
+func TestDigestDeferredMidBufferSum(t *testing.T) {
+	net := New(1)
+	inline := NewDigestObserver(net)
+	inline.SetDeferred(false)
+	deferred := NewDigestObserver(net)
+	deferred.SetDeferred(true)
+	// 10 events = 40 words, far below digestBufWords: nothing has drained
+	// when Sum is read.
+	p := &Packet{Flow: 2, Seq: 0, Type: Data, Size: 1500}
+	for i := 0; i < 10; i++ {
+		p.Seq = int64(i)
+		inline.PacketSent(nil, p)
+		deferred.PacketSent(nil, p)
+	}
+	if got, want := deferred.Sum(), inline.Sum(); got != want {
+		t.Fatalf("mid-buffer Sum %#016x != inline %#016x", got, want)
+	}
+	// Sum must not disturb the stream: more events after the early read
+	// still converge.
+	for i := 10; i < 20; i++ {
+		p.Seq = int64(i)
+		inline.PacketDelivered(nil, p)
+		deferred.PacketDelivered(nil, p)
+	}
+	if got, want := deferred.Sum(), inline.Sum(); got != want {
+		t.Fatalf("post-read Sum %#016x != inline %#016x", got, want)
+	}
+}
+
+// TestDigestSetDeferredMidStream: switching fold modes mid-stream drains
+// first, so the fingerprint is independent of where the switch happens.
+func TestDigestSetDeferredMidStream(t *testing.T) {
+	net := New(1)
+	ref := NewDigestObserver(net)
+	ref.SetDeferred(false)
+	sw := NewDigestObserver(net)
+	sw.SetDeferred(true)
+	p := &Packet{Flow: 5, Type: Data, Size: 9000}
+	for i := 0; i < 30; i++ {
+		p.Seq = int64(i)
+		ref.PacketSent(nil, p)
+		sw.PacketSent(nil, p)
+		if i%7 == 0 {
+			// Toggle repeatedly at an offset coprime with the 4-word event
+			// stride so switches land mid-buffer.
+			sw.SetDeferred(i%14 == 0)
+		}
+	}
+	if got, want := sw.Sum(), ref.Sum(); got != want {
+		t.Fatalf("mode-switched digest %#016x != inline reference %#016x", got, want)
+	}
+}

@@ -371,7 +371,7 @@ func (c *InvariantChecker) checkPort(p *Port, now eventq.Time) {
 	if len(p.classQ) > 0 {
 		for ci := range p.classQ {
 			var classSum int64
-			for _, pkt := range p.classQ[ci][p.classHead[ci]:] {
+			for _, pkt := range p.classQ[ci].items() {
 				scan(pkt)
 				classSum += int64(pkt.Size)
 			}
@@ -381,7 +381,7 @@ func (c *InvariantChecker) checkPort(p *Port, now eventq.Time) {
 			}
 		}
 	} else {
-		for _, pkt := range p.queue[p.head:] {
+		for _, pkt := range p.queue.items() {
 			scan(pkt)
 		}
 	}
@@ -406,20 +406,21 @@ func (c *InvariantChecker) checkPort(p *Port, now eventq.Time) {
 		}
 	}
 	l := p.link
-	if got := len(l.arrivals) - l.arrHead; got > 0 {
+	if got := l.arrivals.len(); got > 0 {
 		if got != l.inFlight {
 			c.violate("queue", "link %s: FIFO holds %d arrivals but inFlight is %d", l.Name, got, l.inFlight)
 		}
-		prev := l.arrivals[l.arrHead]
-		for _, a := range l.arrivals[l.arrHead+1:] {
+		arr := l.arrivals.items()
+		prev := arr[0]
+		for _, a := range arr[1:] {
 			if a.at < prev.at || (a.at == prev.at && a.seq <= prev.seq) {
 				c.violate("queue", "link %s: arrival FIFO out of (time, seq) order: (%v, %d) after (%v, %d)",
 					l.Name, a.at, a.seq, prev.at, prev.seq)
 			}
 			prev = a
 		}
-		if prev := l.arrivals[l.arrHead]; prev.at < now {
-			c.violate("time", "link %s: head arrival at %v is stale (now %v)", l.Name, prev.at, now)
+		if head := arr[0]; head.at < now {
+			c.violate("time", "link %s: head arrival at %v is stale (now %v)", l.Name, head.at, now)
 		}
 	}
 	if l.inFlight < 0 {
@@ -458,12 +459,12 @@ func (c *InvariantChecker) Check() []Violation {
 	walkPort := func(p *Port) {
 		if len(p.classQ) > 0 {
 			for ci := range p.classQ {
-				for _, pkt := range p.classQ[ci][p.classHead[ci]:] {
+				for _, pkt := range p.classQ[ci].items() {
 					collect(pkt)
 				}
 			}
 		} else {
-			for _, pkt := range p.queue[p.head:] {
+			for _, pkt := range p.queue.items() {
 				collect(pkt)
 			}
 		}

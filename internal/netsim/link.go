@@ -39,15 +39,14 @@ type Link struct {
 	arriveFn func(any)
 
 	// Batched-delivery machinery (Network.BatchDelivery): packets in
-	// flight wait in this head-compacted FIFO and arrTimer walks it one
-	// entry per firing. Each entry carries the (time, seq) pair reserved
-	// when deliver ran, so the execution order — including ties against
-	// unrelated same-time events — is exactly the eager path's. Only the
-	// FIFO head occupies the scheduler: one long-horizon insert per busy
-	// period instead of one per packet, with the rearms landing in the
-	// wheel's cheap short-horizon levels.
-	arrivals []linkArrival
-	arrHead  int
+	// flight wait in this head-compacted FIFO. Each entry carries the
+	// (time, seq) pair reserved when deliver ran, so the execution order —
+	// including ties against unrelated same-time events — is exactly the
+	// eager path's. Only the FIFO head ever occupies the scheduler: one
+	// long-horizon insert per busy period, and successive entries drain
+	// either inline (Scheduler.InlineNext, when provably next in the total
+	// order) or via a short-horizon rearm of arrTimer.
+	arrivals fifo[linkArrival]
 	arrTimer *eventq.Timer
 
 	// inFlight counts packets propagating on the link (delivered to it,
@@ -120,9 +119,23 @@ func (l *Link) deliver(p *Packet) {
 	}
 	at := l.net.Now() + l.Delay
 	seq := l.net.Sched.ReserveSeq()
-	l.arrivals = append(l.arrivals, linkArrival{at: at, seq: seq, p: p})
-	if len(l.arrivals)-l.arrHead == 1 {
+	l.arrivals.push(linkArrival{at: at, seq: seq, p: p})
+	if l.arrivals.len() == 1 {
 		l.arrTimer.ResetSeq(at, seq)
+	}
+}
+
+// notifyDelivered reports a delivery to the observer. The common case — a
+// bare DigestObserver, which every harness run attaches — is dispatched on
+// its concrete type so the digest fold inlines instead of going through
+// interface dispatch.
+func (l *Link) notifyDelivered(p *Packet) {
+	switch o := l.net.Observer.(type) {
+	case nil:
+	case *DigestObserver:
+		o.PacketDelivered(l, p)
+	default:
+		o.PacketDelivered(l, p)
 	}
 }
 
@@ -132,39 +145,44 @@ func (l *Link) deliver(p *Packet) {
 func (l *Link) arrive(x any) {
 	p := x.(*Packet)
 	l.inFlight--
-	if l.net.Observer != nil {
-		l.net.Observer.PacketDelivered(l, p)
-	}
+	l.notifyDelivered(p)
 	l.to.HandlePacket(p)
 }
 
 // arriveHead fires when the batched FIFO's head packet reaches the
-// downstream node. It delivers exactly one packet per firing — draining
-// same-time successors inline would jump them ahead of unrelated events
-// holding intermediate seqs — and rearms the timer with the next entry's
-// reserved pair before handing the packet on, so a HandlePacket cascade
-// that reaches deliver again observes a consistent FIFO.
+// downstream node. After each delivery it asks the scheduler whether the
+// next queued arrival is provably the next event in the whole simulation
+// (Scheduler.InlineNext with the entry's reserved (time, seq) pair); if so
+// it keeps draining inline — no timer insert, cascade, or pop per packet —
+// and otherwise it rearms arrTimer with the pair and returns. Inline
+// draining cannot jump an arrival ahead of an unrelated event holding an
+// intermediate seq: InlineNext compares against the scheduler's true
+// minimum and refuses exactly in that case.
+//
+// The FIFO is popped before HandlePacket runs. That is safe because
+// deliver — the only writer — is never called synchronously from a
+// HandlePacket cascade: packets forwarded by a switch land in a port
+// queue, and the port hands them to deliver only from its transmit-done
+// timer.
 func (l *Link) arriveHead() {
-	l.inFlight--
-	a := l.arrivals[l.arrHead]
-	l.arrivals[l.arrHead] = linkArrival{}
-	l.arrHead++
-	if l.arrHead == len(l.arrivals) {
-		l.arrivals = l.arrivals[:0]
-		l.arrHead = 0
-	} else {
-		next := l.arrivals[l.arrHead]
-		l.arrTimer.ResetSeq(next.at, next.seq)
-		// Compact once the dead prefix dominates (same policy as Port's
-		// FIFO) so a long busy period cannot grow the slice unboundedly.
-		if l.arrHead > 64 && l.arrHead*2 >= len(l.arrivals) {
-			n := copy(l.arrivals, l.arrivals[l.arrHead:])
-			l.arrivals = l.arrivals[:n]
-			l.arrHead = 0
+	for {
+		l.inFlight--
+		// peek+advance instead of pop: reading the entry through the head
+		// pointer and nil-ing the packet reference in place avoids the
+		// by-value struct copy a generic pop costs (see fifo.advance).
+		head := l.arrivals.peek()
+		p := head.p
+		head.p = nil
+		l.arrivals.advance()
+		l.notifyDelivered(p)
+		l.to.HandlePacket(p)
+		if l.arrivals.len() == 0 {
+			return
+		}
+		next := l.arrivals.peek()
+		if !l.net.Sched.InlineNext(next.at, next.seq) {
+			l.arrTimer.ResetSeq(next.at, next.seq)
+			return
 		}
 	}
-	if l.net.Observer != nil {
-		l.net.Observer.PacketDelivered(l, a.p)
-	}
-	l.to.HandlePacket(a.p)
 }

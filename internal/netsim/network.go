@@ -108,7 +108,18 @@ func (n *Network) AllocPacket() *Packet {
 		n.pool = n.pool[:k]
 		p.pooled = true
 	} else {
-		p = &Packet{pooled: true}
+		// Pool miss: carve a slab of packets at once. Misses happen while a
+		// run builds its in-flight working set, so a miss predicts more
+		// misses; one slab allocation replaces packetSlab individual ones
+		// and keeps the working set contiguous for the enqueue/deliver
+		// paths that walk packet fields.
+		const packetSlab = 64
+		slab := make([]Packet, packetSlab)
+		for i := range slab[1:] {
+			n.pool = append(n.pool, &slab[1+i])
+		}
+		p = &slab[0]
+		p.pooled = true
 	}
 	if n.poolHook != nil {
 		n.poolHook.onAlloc(p)

@@ -23,8 +23,13 @@ type PhantomQueue struct {
 	// drainBytesPerSec caches DrainBps/8. Dividing a float64 by 8 only
 	// shifts the exponent, so hoisting it out of drainTo is bit-identical
 	// to dividing on every call — it just removes a division from the
-	// per-enqueue path.
+	// per-enqueue path. capF/markMinF/markMaxF cache the exact int64 →
+	// float64 conversions of Cap, MarkMin, and MarkMax the same way (the
+	// exported fields are read-only after NewPhantomQueue).
 	drainBytesPerSec float64
+	capF             float64
+	markMinF         float64
+	markMaxF         float64
 }
 
 // NewPhantomQueue builds a phantom queue draining at drainBps. Marking is
@@ -37,6 +42,9 @@ func NewPhantomQueue(drainBps int64, capBytes, markMin, markMax int64) *PhantomQ
 	return &PhantomQueue{
 		DrainBps: drainBps, Cap: capBytes, MarkMin: markMin, MarkMax: markMax,
 		drainBytesPerSec: float64(drainBps) / 8,
+		capF:             float64(capBytes),
+		markMinF:         float64(markMin),
+		markMaxF:         float64(markMax),
 	}
 }
 
@@ -59,10 +67,10 @@ func (q *PhantomQueue) drainTo(now eventq.Time) {
 func (q *PhantomQueue) OnEnqueue(now eventq.Time, size int, r *rng.Rand) bool {
 	q.drainTo(now)
 	q.bytes += float64(size)
-	if q.bytes > float64(q.Cap) {
-		q.bytes = float64(q.Cap)
+	if q.bytes > q.capF {
+		q.bytes = q.capF
 	}
-	return redDecision(q.bytes, float64(q.MarkMin), float64(q.MarkMax), r)
+	return redDecision(q.bytes, q.markMinF, q.markMaxF, r)
 }
 
 // Occupancy returns the current virtual occupancy in bytes.

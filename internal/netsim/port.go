@@ -61,17 +61,40 @@ type PortStats struct {
 // Port is an output port: a byte-bounded FIFO plus a transmitter that
 // serializes packets onto the attached link at line rate (store-and-
 // forward: a packet leaves the queue when its serialization begins).
+//
+// Enqueue is the per-hop hot path: it runs once for every packet at every
+// switch, so the admission logic is a single fused pass over one snapshot
+// of queue state, with every static threshold that RED, QCN, and DRR need
+// precomputed in newPort (see the redMin/classRedMin/qcnSample fields).
+// The float conversions precomputed there are exact (int64 → float64 of
+// in-range values), so the fused pass is bit-identical to the multi-pass
+// code it replaced — golden digests do not move.
 type Port struct {
 	net   *Network
 	owner Node
 	cfg   PortConfig
 	link  *Link
 
-	queue       []*Packet
-	head        int
+	queue       fifo[*Packet]
 	queuedBytes int64
 	busy        bool
 	qcnCount    uint64
+
+	// Admission constants precomputed by newPort so Enqueue converts and
+	// divides nothing that is statically known:
+	//   redMin/redMax   — float64(cfg.MarkMin/MarkMax); RED enabled iff
+	//                     redMax > 0 (exact conversion, same predicate).
+	//   qcnSample       — cfg.QCNSample with the 0 → 32 default resolved.
+	//   qcnRange        — float64(QueueCap - QCNThresh), sendCnm's
+	//                     normalization denominator.
+	redMin, redMax float64
+	qcnSample      uint64
+	qcnRange       float64
+
+	// dropLabel is the observer location string for tail drops,
+	// precomputed because the concatenation allocated on every drop —
+	// the only allocation the fused pass had left.
+	dropLabel string
 
 	// Transmit-completion machinery: one reusable timer bound to onTxDone
 	// at construction and the packet currently being serialized. Together
@@ -86,13 +109,17 @@ type Port struct {
 	serSize int
 	serTime eventq.Time
 
-	// Per-class DRR state (ClassWeights mode).
-	classQ      [][]*Packet
-	classHead   []int
+	// Per-class DRR state (ClassWeights mode). classRedMin/classRedMax
+	// are the weight-share-scaled RED thresholds, precomputed per class
+	// (they were recomputed from the weight share on every marked
+	// enqueue).
+	classQ      []fifo[*Packet]
 	classBytes  []int64
 	deficit     []int64
 	rrNext      int
 	totalWeight int // sum of cfg.ClassWeights, precomputed once
+	classRedMin []float64
+	classRedMax []float64
 
 	stats PortStats
 }
@@ -118,14 +145,30 @@ func newPort(net *Network, owner Node, link *Link, cfg PortConfig) *Port {
 		}
 	}
 	p := &Port{net: net, owner: owner, cfg: cfg, link: link}
+	p.dropLabel = owner.Name() + " port"
 	p.txTimer = net.Sched.NewTimer(p.onTxDone)
+	p.redMin, p.redMax = float64(cfg.MarkMin), float64(cfg.MarkMax)
+	p.qcnSample = cfg.QCNSample
+	if p.qcnSample == 0 {
+		p.qcnSample = 32
+	}
+	p.qcnRange = float64(cfg.QueueCap - cfg.QCNThresh)
 	if n := len(cfg.ClassWeights); n > 0 {
-		p.classQ = make([][]*Packet, n)
-		p.classHead = make([]int, n)
+		p.classQ = make([]fifo[*Packet], n)
 		p.classBytes = make([]int64, n)
 		p.deficit = make([]int64, n)
 		for _, w := range cfg.ClassWeights {
 			p.totalWeight += w
+		}
+		p.classRedMin = make([]float64, n)
+		p.classRedMax = make([]float64, n)
+		for c, w := range cfg.ClassWeights {
+			// A class's thresholds are the port thresholds scaled by its
+			// weight share. The expression mirrors the old per-enqueue
+			// computation term for term, so the products are bit-identical.
+			share := float64(w) / float64(p.totalWeight)
+			p.classRedMin[c] = p.redMin * share
+			p.classRedMax[c] = p.redMax * share
 		}
 	}
 	return p
@@ -160,11 +203,11 @@ func (p *Port) QueuedPackets() int {
 	if len(p.classQ) > 0 {
 		n := 0
 		for c := range p.classQ {
-			n += len(p.classQ[c]) - p.classHead[c]
+			n += p.classQ[c].len()
 		}
 		return n
 	}
-	return len(p.queue) - p.head
+	return p.queue.len()
 }
 
 // Stats returns a snapshot of the port counters.
@@ -174,24 +217,30 @@ func (p *Port) Stats() PortStats { return p.stats }
 func (p *Port) Config() PortConfig { return p.cfg }
 
 // Enqueue applies ECN marking, admits or drops the packet, and kicks the
-// transmitter.
+// transmitter. The whole admission — phantom accounting, capacity/trim,
+// RED, QCN sampling — is one pass over a single (now, queuedBytes)
+// snapshot; see the Port doc comment for the bit-identity argument.
 func (p *Port) Enqueue(pkt *Packet) {
 	now := p.net.Now()
+	size := int64(pkt.Size)
+	qb := p.queuedBytes
 
 	// Phantom queues see every arrival, including ones later tail-dropped:
-	// the virtual queue models offered load, not accepted load.
+	// the virtual queue models offered load, not accepted load. Its drain
+	// clock advances off the same time read as the rest of the pass.
 	phantomMark := false
-	if p.cfg.Phantom != nil {
-		phantomMark = p.cfg.Phantom.OnEnqueue(now, pkt.Size, p.net.Rand)
+	if ph := p.cfg.Phantom; ph != nil {
+		phantomMark = ph.OnEnqueue(now, pkt.Size, p.net.Rand)
 	}
 
-	isControl := pkt.Type != Data || pkt.Trimmed
-	if p.queuedBytes+int64(pkt.Size) > p.cfg.QueueCap && !(isControl && p.cfg.ControlBypass) {
+	isData := pkt.Type == Data && !pkt.Trimmed
+	if qb+size > p.cfg.QueueCap && (isData || !p.cfg.ControlBypass) {
 		trimmedHere := false
-		if p.cfg.Trim && pkt.Type == Data && !pkt.Trimmed {
+		if p.cfg.Trim && isData {
 			// Trim to the header and forward as a control-sized packet.
 			pkt.Trimmed = true
 			pkt.Size = AckSize
+			size = AckSize
 			trimmedHere = true
 		}
 		// The capacity still applies to the trimmed header (unless
@@ -199,10 +248,10 @@ func (p *Port) Enqueue(pkt *Packet) {
 		// re-check a full trim-enabled queue grows without bound in
 		// AckSize steps.
 		if !trimmedHere ||
-			(!p.cfg.ControlBypass && p.queuedBytes+int64(pkt.Size) > p.cfg.QueueCap) {
+			(!p.cfg.ControlBypass && qb+size > p.cfg.QueueCap) {
 			p.stats.TailDrops++
 			if p.net.Observer != nil {
-				p.net.Observer.PacketDropped(p.owner.Name()+" port", DropTail, pkt)
+				p.net.Observer.PacketDropped(p.dropLabel, DropTail, pkt)
 			}
 			p.net.FreePacket(pkt)
 			return
@@ -210,20 +259,22 @@ func (p *Port) Enqueue(pkt *Packet) {
 		p.stats.Trims++
 	}
 
+	c := 0
+	if len(p.classQ) > 0 {
+		c = p.classOf(pkt)
+	}
+
 	if pkt.ECNCapable && !pkt.ECNMarked {
 		marked := phantomMark
-		if !marked && p.cfg.MarkMax > 0 {
+		if !marked && p.redMax > 0 {
 			// RED sees the occupancy including the arriving packet, the same
 			// after-add convention as PhantomQueue.OnEnqueue (§5.1): the mark
-			// reflects the queue the packet actually joins.
-			occ := float64(p.queuedBytes + int64(pkt.Size))
-			min, max := float64(p.cfg.MarkMin), float64(p.cfg.MarkMax)
+			// reflects the queue the packet actually joins. In DRR mode the
+			// decision is per class, against its precomputed scaled
+			// thresholds.
+			occ, min, max := float64(qb+size), p.redMin, p.redMax
 			if len(p.classQ) > 0 {
-				// Per-class RED: a class's occupancy against thresholds
-				// scaled by its weight share.
-				c := p.classOf(pkt)
-				share := p.weightShare(c)
-				occ, min, max = float64(p.classBytes[c]+int64(pkt.Size)), min*share, max*share
+				occ, min, max = float64(p.classBytes[c]+size), p.classRedMin[c], p.classRedMax[c]
 			}
 			marked = redDecision(occ, min, max, p.net.Rand)
 		}
@@ -234,23 +285,21 @@ func (p *Port) Enqueue(pkt *Packet) {
 	}
 
 	if len(p.classQ) > 0 {
-		c := p.classOf(pkt)
-		p.classQ[c] = append(p.classQ[c], pkt)
-		p.classBytes[c] += int64(pkt.Size)
+		p.classQ[c].push(pkt)
+		p.classBytes[c] += size
 	} else {
-		p.queue = append(p.queue, pkt)
+		p.queue.push(pkt)
 	}
-	p.queuedBytes += int64(pkt.Size)
+	qb += size
+	p.queuedBytes = qb
 	p.stats.EnqueuedPackets++
 	p.stats.EnqueuedBytes += uint64(pkt.Size)
 
-	if p.cfg.QCN && pkt.Type == Data && p.queuedBytes > p.cfg.QCNThresh {
+	// QCN samples every admitted data packet above the threshold — trimmed
+	// data packets included (they still signal offered load at this hop).
+	if p.cfg.QCN && pkt.Type == Data && qb > p.cfg.QCNThresh {
 		p.qcnCount++
-		sample := p.cfg.QCNSample
-		if sample == 0 {
-			sample = 32
-		}
-		if p.qcnCount%sample == 0 {
+		if p.qcnCount%p.qcnSample == 0 {
 			p.sendCnm(pkt)
 		}
 	}
@@ -260,7 +309,7 @@ func (p *Port) Enqueue(pkt *Packet) {
 // sendCnm emits a congestion-notification message straight back to the
 // sampled packet's source, carrying the queue's relative overload.
 func (p *Port) sendCnm(pkt *Packet) {
-	over := float64(p.queuedBytes-p.cfg.QCNThresh) / float64(p.cfg.QueueCap-p.cfg.QCNThresh)
+	over := float64(p.queuedBytes-p.cfg.QCNThresh) / p.qcnRange
 	// Clamp to [0, 1]: ControlBypass (and trimming) can push queuedBytes
 	// past QueueCap, and the inverted comparison also rejects NaN, so a
 	// CC consuming Packet.Feedback never sees a value outside the range.
@@ -284,29 +333,20 @@ func (p *Port) sendCnm(pkt *Packet) {
 	p.owner.HandlePacket(cnm)
 }
 
-// weightShare returns class c's fraction of the total weight (precomputed
-// in newPort; recomputing the sum here used to cost a loop per enqueue).
-func (p *Port) weightShare(c int) float64 {
-	return float64(p.cfg.ClassWeights[c]) / float64(p.totalWeight)
-}
-
 // popNext removes and returns the next packet to transmit, or nil.
 func (p *Port) popNext() *Packet {
 	if len(p.classQ) > 0 {
 		return p.popDRR()
 	}
-	if p.head == len(p.queue) {
+	if p.queue.len() == 0 {
 		return nil
 	}
-	pkt := p.queue[p.head]
-	p.queue[p.head] = nil
-	p.head++
-	// Compact the FIFO once the dead prefix dominates.
-	if p.head > 64 && p.head*2 >= len(p.queue) {
-		n := copy(p.queue, p.queue[p.head:])
-		p.queue = p.queue[:n]
-		p.head = 0
-	}
+	// peek+advance instead of pop: nil the slot through the head pointer so
+	// the discard stays inlined (see fifo.advance).
+	head := p.queue.peek()
+	pkt := *head
+	*head = nil
+	p.queue.advance()
 	return pkt
 }
 
@@ -315,7 +355,7 @@ func (p *Port) popDRR() *Packet {
 	n := len(p.classQ)
 	nonempty := false
 	for c := 0; c < n; c++ {
-		if p.classHead[c] < len(p.classQ[c]) {
+		if p.classQ[c].len() > 0 {
 			nonempty = true
 			break
 		}
@@ -327,17 +367,13 @@ func (p *Port) popDRR() *Packet {
 	// to serve (quantum ≥ max packet size × weight).
 	for round := 0; round < 2*n+1; round++ {
 		c := p.rrNext
-		if p.classHead[c] < len(p.classQ[c]) {
-			head := p.classQ[c][p.classHead[c]]
+		if p.classQ[c].len() > 0 {
+			slot := p.classQ[c].peek()
+			head := *slot
 			if p.deficit[c] >= int64(head.Size) {
 				p.deficit[c] -= int64(head.Size)
-				p.classQ[c][p.classHead[c]] = nil
-				p.classHead[c]++
-				if p.classHead[c] > 64 && p.classHead[c]*2 >= len(p.classQ[c]) {
-					m := copy(p.classQ[c], p.classQ[c][p.classHead[c]:])
-					p.classQ[c] = p.classQ[c][:m]
-					p.classHead[c] = 0
-				}
+				*slot = nil
+				p.classQ[c].advance()
 				p.classBytes[c] -= int64(head.Size)
 				// Stay on this class while its deficit lasts (standard
 				// DRR serves a class's burst before moving on).

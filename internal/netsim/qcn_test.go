@@ -126,3 +126,107 @@ func TestQCNCnmRoutedFromMidPathSwitch(t *testing.T) {
 		t.Fatal("congested mid-path port sent no CNMs")
 	}
 }
+
+// TestQCNFeedbackExactBounds pins sendCnm's feedback value at the two
+// boundary occupancies the fused Enqueue pass must preserve exactly:
+// a queue at precisely QueueCap yields feedback 1.0 (the normalization
+// (qb−thresh)/(cap−thresh) with no clamping slack), and a queue pushed
+// past QueueCap by trim+bypass admissions clamps to exactly 1.0 rather
+// than exceeding it.
+func TestQCNFeedbackExactBounds(t *testing.T) {
+	// 8 KiB capacity, threshold at half, sample every admitted data packet.
+	// ControlBypass lets the CNM itself through the full queue (data
+	// admissions are still capacity-checked, so the occupancy math below is
+	// unchanged); the feedback is computed before the CNM joins the queue.
+	cfg := PortConfig{
+		QueueCap: 8 << 10, ControlBypass: true, QCN: true, QCNThresh: 4 << 10, QCNSample: 1,
+	}
+	net, a, sw, b := buildPair(t, cfg, 1e9, eventq.Microsecond)
+	var feedbacks []float64
+	b.SetHandler(func(p *Packet) {
+		if p.Type == Cnm {
+			feedbacks = append(feedbacks, p.Feedback)
+		}
+	})
+	// Synchronous enqueues: the first packet enters the transmitter
+	// immediately (queuedBytes 0), the second queues to 4096 (== thresh, no
+	// sample: the comparison is strict), the third queues to exactly 8192 ==
+	// QueueCap → feedback (8192−4096)/(8192−4096) = 1.0 exactly.
+	for i := 0; i < 3; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Seq: int64(i)})
+	}
+	net.Sched.Run()
+	if len(feedbacks) != 1 {
+		t.Fatalf("got %d CNMs, want exactly 1 (full-queue sample)", len(feedbacks))
+	}
+	if feedbacks[0] != 1.0 {
+		t.Fatalf("feedback at exactly-full queue = %v, want exactly 1.0", feedbacks[0])
+	}
+
+	// Overfull via trim+bypass: a full queue trims arriving data to AckSize
+	// and ControlBypass admits the headers past QueueCap, so queuedBytes
+	// exceeds the capacity while QCN keeps sampling. Every feedback must be
+	// the clamped 1.0, never more.
+	cfg2 := PortConfig{
+		QueueCap: 8 << 10, ControlBypass: true, Trim: true,
+		QCN: true, QCNThresh: 4 << 10, QCNSample: 1,
+	}
+	net2, a2, sw2, b2 := buildPair(t, cfg2, 1e9, eventq.Microsecond)
+	feedbacks = nil
+	b2.SetHandler(func(p *Packet) {
+		if p.Type == Cnm {
+			feedbacks = append(feedbacks, p.Feedback)
+		}
+	})
+	for i := 0; i < 8; i++ {
+		sw2.Port(0).Enqueue(&Packet{Type: Data, Src: a2.ID(), Dst: b2.ID(), Size: 4096, Seq: int64(i)})
+	}
+	if qb := sw2.Port(0).QueuedBytes(); qb <= cfg2.QueueCap {
+		t.Fatalf("queue not overfull (%d ≤ %d): trim+bypass scenario broken", qb, cfg2.QueueCap)
+	}
+	net2.Sched.Run()
+	over := 0
+	for _, f := range feedbacks {
+		if f > 1 || f != f {
+			t.Fatalf("overfull-queue feedback %v, want clamp to 1.0", f)
+		}
+		if f == 1.0 {
+			over++
+		}
+	}
+	if over == 0 {
+		t.Fatal("no clamped 1.0 feedback despite an overfull queue")
+	}
+}
+
+// TestQCNSamplingCountsTrimmedPackets: the sampling counter advances on
+// every admitted data packet above the threshold, trimmed headers included
+// — a trimmed packet still signals offered load at this hop. With
+// QCNSample = 4 and 16 trimmed admissions, exactly 4 CNMs must go out; a
+// regression that skips trimmed packets (p.Trimmed check in the fused
+// pass) would halve the cadence or stall it entirely.
+func TestQCNSamplingCountsTrimmedPackets(t *testing.T) {
+	cfg := PortConfig{
+		QueueCap: 4 << 10, ControlBypass: true, Trim: true,
+		QCN: true, QCNThresh: 0, QCNSample: 4,
+	}
+	_, a, sw, b := buildPair(t, cfg, 1e9, eventq.Microsecond)
+	// First packet occupies the transmitter, second fills the queue; the
+	// following 16 all arrive at a full queue and are trimmed+bypassed.
+	for i := 0; i < 2; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Seq: int64(i)})
+	}
+	trimsBefore := sw.Port(0).Stats().Trims
+	for i := 0; i < 16; i++ {
+		sw.Port(0).Enqueue(&Packet{Type: Data, Src: a.ID(), Dst: b.ID(), Size: 4096, Seq: int64(2 + i)})
+	}
+	st := sw.Port(0).Stats()
+	if st.Trims-trimsBefore != 16 {
+		t.Fatalf("trims = %d, want 16 (scenario must trim every late arrival)", st.Trims-trimsBefore)
+	}
+	// Cadence: 1 untrimmed admission above threshold (packet 2) + 16 trimmed
+	// = 17 counted → samples at counts 4, 8, 12, 16.
+	if st.CnmsSent != 4 {
+		t.Fatalf("CnmsSent = %d, want 4 (every 4th counted admission, trimmed included)", st.CnmsSent)
+	}
+}

@@ -161,6 +161,70 @@ func BenchmarkDigestFold(b *testing.B) {
 	digestSink = h
 }
 
+// BenchmarkPortEnqueue isolates Port.Enqueue — the fused single-pass
+// admission that runs once per packet per hop — across the port
+// configurations that activate its different branches: plain FIFO, RED
+// marking, phantom-queue marking, QCN sampling, per-class DRR with scaled
+// thresholds, and trimming under genuine queue pressure. Packets are
+// enqueued in bursts straight into the output port (no NIC serialization
+// in front), so the queue actually builds depth and the capacity, trim,
+// and QCN>threshold branches run; the scheduler then drains the burst and
+// recycles the packets.
+func BenchmarkPortEnqueue(b *testing.B) {
+	const bw = int64(100e9)
+	const qcap = int64(1 << 20)
+	variants := []struct {
+		name    string
+		cfg     netsim.PortConfig
+		classes uint8 // 0 = single FIFO
+	}{
+		{"fifo", netsim.PortConfig{QueueCap: qcap}, 0},
+		{"red", netsim.PortConfig{QueueCap: qcap, MarkMin: qcap / 4, MarkMax: 3 * qcap / 4}, 0},
+		{"phantom", netsim.PortConfig{QueueCap: qcap,
+			Phantom: netsim.NewPhantomQueue(bw*95/100, qcap, qcap/4, 3*qcap/4)}, 0},
+		{"qcn", netsim.PortConfig{QueueCap: qcap, QCN: true, QCNThresh: 1 << 14, QCNSample: 8}, 0},
+		{"drr", netsim.PortConfig{QueueCap: qcap, MarkMin: qcap / 4, MarkMax: 3 * qcap / 4,
+			ClassWeights: []int{1, 2, 4}}, 3},
+		// 16 KiB capacity against 96 KiB bursts: most of each burst tail-trims.
+		{"trim-pressure", netsim.PortConfig{QueueCap: 16 << 10, Trim: true}, 0},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			net := netsim.New(1)
+			sw := netsim.NewSwitch(net, "sw", nil)
+			src := netsim.NewHost(net, "src", 0)
+			dst := netsim.NewHost(net, "dst", 0)
+			sw.AddPort(src, bw, eventq.Microsecond, simtest.PortConfig())
+			sw.AddPort(dst, bw, eventq.Microsecond, v.cfg)
+			sw.SetRouter(simtest.DstRouter{src.ID(): 0, dst.ID(): 1})
+			src.SetHandler(func(*netsim.Packet) {}) // QCN's Cnm terminal point
+			dst.SetHandler(func(*netsim.Packet) {})
+			port := sw.Port(1)
+			const burst = 64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i += burst {
+				n := burst
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				for j := 0; j < n; j++ {
+					p := net.AllocPacket()
+					p.Type = netsim.Data
+					p.Src = src.ID()
+					p.Dst = dst.ID()
+					p.Size = 1500
+					p.ECNCapable = true
+					if v.classes > 0 {
+						p.Class = uint8(j) % v.classes
+					}
+					port.Enqueue(p)
+				}
+				net.Sched.Run()
+			}
+		})
+	}
+}
+
 // BenchmarkLinkDelivery pushes bursts of back-to-back packets through a
 // switch port and its link under both delivery modes, isolating what
 // batched delivery saves on the per-packet schedule/arrive cycle.

@@ -16,7 +16,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-FILTER="${BENCH_FILTER:-BenchmarkFig|BenchmarkSimulatorThroughput|BenchmarkEventq|BenchmarkWheelInsert|BenchmarkPortEnqueueDeliver|BenchmarkIncastStep|BenchmarkDigestFold|BenchmarkLinkDelivery}"
+FILTER="${BENCH_FILTER:-BenchmarkFig|BenchmarkSimulatorThroughput|BenchmarkEventq|BenchmarkWheelInsert|BenchmarkPortEnqueue|BenchmarkIncastStep|BenchmarkDigestFold|BenchmarkLinkDelivery}"
 BENCHTIME="${BENCH_TIME:-1x}"
 
 OUT="BENCH_$(date +%Y-%m-%d).json"

@@ -1,0 +1,115 @@
+#!/bin/sh
+# bench_ab.sh — interleaved A/B benchmark comparison, the ROADMAP's
+# required methodology for perf claims: build two test binaries (a git ref
+# and the working tree, or two refs), alternate them round-robin for N
+# rounds so machine noise hits both sides equally, keep each benchmark's
+# per-side *minimum* ns/op (the least-noise sample), and report the deltas
+# through cmd/benchdiff in the same JSON format scripts/bench.sh snapshots
+# use.
+#
+#   ./scripts/bench_ab.sh HEAD                  # working tree vs HEAD
+#   ./scripts/bench_ab.sh -n 7 -bench 'BenchmarkSimulatorThroughput$' \
+#       -benchtime 4x HEAD~3 HEAD               # two refs
+#   ./scripts/bench_ab.sh -keep HEAD            # keep the min JSONs
+#
+# OLD is a git ref; NEW defaults to the working tree (pass a second ref to
+# compare two commits). Exit status is benchdiff's (use -tol to gate).
+set -eu
+cd "$(dirname "$0")/.."
+
+N=5
+BENCH='BenchmarkSimulatorThroughput$|BenchmarkLinkDelivery|BenchmarkPortEnqueue'
+BENCHTIME=4x
+KEEP=0
+TOL=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -n) N="$2"; shift 2 ;;
+    -bench) BENCH="$2"; shift 2 ;;
+    -benchtime) BENCHTIME="$2"; shift 2 ;;
+    -tol) TOL="$2"; shift 2 ;;
+    -keep) KEEP=1; shift ;;
+    -*) echo "usage: $0 [-n N] [-bench REGEX] [-benchtime T] [-tol PCT] [-keep] OLDREF [NEWREF]" >&2; exit 2 ;;
+    *) break ;;
+    esac
+done
+[ $# -ge 1 ] || { echo "usage: $0 [-n N] [-bench REGEX] [-benchtime T] [-tol PCT] [-keep] OLDREF [NEWREF]" >&2; exit 2; }
+OLDREF="$1"
+NEWREF="${2:-}"
+
+WORK="$(mktemp -d)"
+cleanup() {
+    git worktree remove --force "$WORK/old" >/dev/null 2>&1 || true
+    git worktree remove --force "$WORK/new" >/dev/null 2>&1 || true
+    [ "$KEEP" = 1 ] || rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# build REF OUT: compile the root package's test binary for a ref (or the
+# working tree when REF is empty) into OUT.
+build() {
+    if [ -z "$1" ]; then
+        go test -c -o "$2" .
+    else
+        git worktree add --detach -q "$WORK/$3" "$1"
+        (cd "$WORK/$3" && go test -c -o "$2" .)
+    fi
+}
+
+echo "== building old ($OLDREF) and new (${NEWREF:-working tree}) =="
+build "$OLDREF" "$WORK/old.test" old
+build "$NEWREF" "$WORK/new.test" new
+
+run() { # run BIN >> RAW
+    "$1" -test.run 'TestNone' -test.bench "$BENCH" \
+        -test.benchtime "$BENCHTIME" -test.benchmem
+}
+
+: > "$WORK/old.raw"
+: > "$WORK/new.raw"
+i=1
+while [ "$i" -le "$N" ]; do
+    echo "== round $i/$N =="
+    run "$WORK/old.test" | tee -a "$WORK/old.raw" | grep '^Benchmark' | sed 's/^/  old /'
+    run "$WORK/new.test" | tee -a "$WORK/new.raw" | grep '^Benchmark' | sed 's/^/  new /'
+    i=$((i + 1))
+done
+
+# mins RAW OUT LABEL: keep each benchmark's minimum-ns/op line and emit the
+# bench.sh snapshot JSON format benchdiff reads.
+mins() {
+    awk -v out="$2" -v label="$3" '
+    /^Benchmark/ && /ns\/op/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        ns = ""; bytes = 0; allocs = 0
+        for (i = 2; i <= NF; i++) {
+            if ($i == "ns/op")     ns = $(i-1)
+            if ($i == "B/op")      bytes = $(i-1)
+            if ($i == "allocs/op") allocs = $(i-1)
+        }
+        if (ns == "") next
+        if (!(name in min) || ns + 0 < min[name] + 0) {
+            min[name] = ns; bop[name] = bytes; aop[name] = allocs
+            if (!(name in seen)) { order[++k] = name; seen[name] = 1 }
+        }
+    }
+    END {
+        printf "{\n  \"meta\": {\"date\": \"ab\", \"commit\": \"%s\", \"go\": \"min-of-rounds\"},\n", label > out
+        printf "  \"benchmarks\": [" > out
+        for (j = 1; j <= k; j++) {
+            name = order[j]
+            printf "%s\n    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+                (j > 1 ? "," : ""), name, min[name], bop[name], aop[name] > out
+        }
+        printf "\n  ]\n}\n" > out
+    }' "$1"
+}
+
+mins "$WORK/old.raw" "$WORK/old.json" "$OLDREF"
+mins "$WORK/new.raw" "$WORK/new.json" "${NEWREF:-worktree}"
+
+echo "== per-bench minima over $N interleaved rounds =="
+STATUS=0
+go run ./cmd/benchdiff -tol "$TOL" "$WORK/old.json" "$WORK/new.json" || STATUS=$?
+[ "$KEEP" = 1 ] && echo "kept min snapshots: $WORK/old.json $WORK/new.json"
+exit $STATUS

@@ -41,12 +41,17 @@ fi
 
 # The golden digests — and the invariant observers attached to every
 # golden scenario (netsim.AttachInvariants in internal/simtest) — must
-# hold with batched link delivery on and off (-batch/UNO_BATCH). The full
-# suite above already ran with the default; rerun the digest + invariant
-# suite once per explicit mode.
+# hold across the full delivery × digest-fold matrix: batched link
+# delivery on and off (-batch/UNO_BATCH) crossed with inline and deferred
+# digest folding (UNO_DIGEST_DEFER). All four cells must reproduce the
+# same committed digests byte-for-byte — that is the entire correctness
+# argument for both toggles. The full suite above already ran with the
+# defaults; rerun the digest + invariant suite once per explicit cell.
 for batch in on off; do
-    echo "== golden digests + invariants, UNO_BATCH=$batch =="
-    UNO_BATCH=$batch go test -count=1 ./internal/simtest/
+    for defer_mode in on off; do
+        echo "== golden digests + invariants, UNO_BATCH=$batch UNO_DIGEST_DEFER=$defer_mode =="
+        UNO_BATCH=$batch UNO_DIGEST_DEFER=$defer_mode go test -count=1 ./internal/simtest/
+    done
 done
 
 # The eventq property tests (wheel-vs-reference-model fire sequences,
@@ -81,7 +86,11 @@ echo "== bench smoke (scripts/bench.sh -short) =="
 LATEST="$(ls BENCH_*.json 2>/dev/null | grep -v baseline | sort -V | tail -1 || true)"
 if [ -n "$LATEST" ]; then
     echo "== bench regression gate (soft, vs $LATEST) =="
-    FRESH="$(BENCH_FILTER='BenchmarkSimulatorThroughput$' ./scripts/bench.sh |
+    # The gate covers the figure-level throughput number plus the
+    # per-admission-path enqueue microbenches, so a regression in one
+    # port branch (RED, QCN, DRR, trim) is visible even when the
+    # end-to-end number hides it.
+    FRESH="$(BENCH_FILTER='BenchmarkSimulatorThroughput$|BenchmarkPortEnqueue/' ./scripts/bench.sh |
         awk '/^wrote /{print $2}')"
     if [ -n "$FRESH" ]; then
         ./scripts/bench_diff.sh -tol "${BENCH_GATE_TOL:-25}" "$LATEST" "$FRESH" ||
