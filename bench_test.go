@@ -175,7 +175,30 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			func(src, dst int) bool { return (src < 128) != (dst < 128) })
 		sim.Schedule(specs)
 		sim.Run(uno.Second)
-		b.ReportMetric(float64(sim.Net.Sched.Executed()), "events")
+		b.ReportMetric(float64(sim.EventsExecuted()), "events")
+	}
+}
+
+// BenchmarkSimulatorThroughputSharded is the same permutation workload on
+// the partitioned per-DC engine: workers=1 runs the two shards serially
+// (measuring the partition protocol's overhead), workers=2 runs one
+// goroutine per DC (measuring the parallel speedup). Event counts are
+// identical across all three benchmarks' engines by construction.
+func BenchmarkSimulatorThroughputSharded(b *testing.B) {
+	for _, workers := range []int{1, 2} {
+		b.Run(map[int]string{1: "workers1", 2: "workers2"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim, err := uno.NewShardedSim(1, uno.DefaultTopology(), uno.UnoECMPStack(), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				specs := uno.PermutationFlows(uno.HostRange{Lo: 0, Hi: 256}, 1<<20, uno.NewRand(7),
+					func(src, dst int) bool { return (src < 128) != (dst < 128) })
+				sim.Schedule(specs)
+				sim.Run(uno.Second)
+				b.ReportMetric(float64(sim.EventsExecuted()), "events")
+			}
+		})
 	}
 }
 

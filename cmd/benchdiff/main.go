@@ -103,8 +103,15 @@ func main() {
 		path  string
 	}{{"old", oldSnap, flag.Arg(0)}, {"new", newSnap, flag.Arg(1)}} {
 		if len(s.snap.Meta) > 0 {
-			fmt.Printf("%s: %s (date=%s commit=%s go=%s)\n", s.label, s.path,
+			line := fmt.Sprintf("%s: %s (date=%s commit=%s go=%s", s.label, s.path,
 				s.snap.Meta["date"], s.snap.Meta["commit"], s.snap.Meta["go"])
+			// cpus/gomaxprocs appear in snapshots taken since the sharded
+			// engine landed; a workers2-vs-workers1 delta from a 1-CPU box
+			// measures protocol overhead, not speedup, so surface them.
+			if cpus := s.snap.Meta["cpus"]; cpus != "" {
+				line += fmt.Sprintf(" cpus=%s gomaxprocs=%s", cpus, s.snap.Meta["gomaxprocs"])
+			}
+			fmt.Println(line + ")")
 		} else {
 			fmt.Printf("%s: %s\n", s.label, s.path)
 		}

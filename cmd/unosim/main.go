@@ -10,6 +10,7 @@
 //	unosim -exp fig13a -out results/   # CSV artifacts
 //	unosim -exp fig13a -parallel 4     # fan independent reruns across cores
 //	unosim -exp fig3 -batch off        # cross-check unbatched link delivery
+//	unosim -exp fig3 -shards 2         # partitioned per-DC engine, 2 workers
 //
 // Scale 1 is a minutes-long quick validation (like sc25_quick_validation);
 // larger scales add flows, reruns, and duration toward paper scale.
@@ -43,6 +44,8 @@ func main() {
 			"max concurrent simulation runs (independent reruns only; output is identical for any value)")
 		batch = flag.String("batch", netsim.BatchMode(netsim.BatchDefault()),
 			"batched link delivery: on (per-link arrival FIFO, one scheduler insert per busy period) or off (one insert per packet); results are identical either way")
+		shards = flag.String("shards", netsim.ShardMode(netsim.ShardDefault()),
+			"partitioned per-DC engine: off (legacy single scheduler), or N >= 1 worker goroutines per sim (results are identical for every N >= 1; -parallel is clamped so reruns x workers stays within GOMAXPROCS)")
 		list       = flag.Bool("list", false, "list available experiments")
 		out        = flag.String("out", "", "also write CSV + text artifacts under this directory (like the paper's artifact_results/)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
@@ -56,6 +59,14 @@ func main() {
 		os.Exit(2)
 	}
 	netsim.SetBatchDefault(batchOn)
+
+	nshards, err := netsim.ParseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	netsim.SetShardDefault(nshards)
+	*parallel = harness.ClampParallel(*parallel, nshards)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

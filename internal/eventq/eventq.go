@@ -426,6 +426,23 @@ func (s *Scheduler) RunUntil(deadline Time) {
 	}
 }
 
+// RunBefore executes events strictly before the deadline and then advances
+// the clock to it: it is RunUntil with an exclusive upper bound. The
+// conservative parallel driver (netsim.Cluster) steps every shard with
+// RunBefore(barrier) so that events scheduled at exactly the barrier time —
+// including cross-shard handoff records inserted while the shards are
+// paused — still execute in their home window, after the barrier exchange,
+// in the same total order regardless of how many worker goroutines drive
+// the shards. The wheel never cascades past deadline-1, so inserts at or
+// after the deadline remain valid once the clock lands on it.
+func (s *Scheduler) RunBefore(deadline Time) {
+	if deadline <= s.now {
+		return
+	}
+	s.RunUntil(deadline - 1)
+	s.now = deadline
+}
+
 // Run executes events until the queue drains or Stop is called.
 func (s *Scheduler) Run() {
 	s.stopped = false

@@ -1,0 +1,100 @@
+package eventq
+
+import "testing"
+
+// TestRunBeforeExclusiveBound: RunBefore(d) executes events strictly
+// before d, leaves events at exactly d pending, and parks the clock on d.
+func TestRunBeforeExclusiveBound(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15} {
+		at := at
+		s.Schedule(at, func() { fired = append(fired, at) })
+	}
+	s.RunBefore(10)
+	if len(fired) != 1 || fired[0] != 5 {
+		t.Fatalf("RunBefore(10) fired %v, want [5]", fired)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("clock at %v after RunBefore(10), want 10", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2 (events at 10 and 15 untouched)", s.Pending())
+	}
+	// The inclusive follow-up picks up the boundary event.
+	s.RunUntil(10)
+	if len(fired) != 2 || fired[1] != 10 {
+		t.Fatalf("RunUntil(10) after RunBefore(10) fired %v, want [5 10]", fired)
+	}
+}
+
+// TestRunBeforeThenScheduleAtBoundary is the cluster-drain contract: after
+// RunBefore(b) parks the clock on b, inserting an event at exactly b (a
+// handoff record whose arrival lands on the barrier) must be legal and
+// must execute in the next window.
+func TestRunBeforeThenScheduleAtBoundary(t *testing.T) {
+	s := New()
+	ran := false
+	s.RunBefore(100)
+	s.ScheduleArg(100, func(any) { ran = true }, nil)
+	s.RunUntil(100)
+	if !ran {
+		t.Fatal("event scheduled at the barrier did not run in the next window")
+	}
+	if s.Now() != 100 {
+		t.Fatalf("clock at %v, want 100", s.Now())
+	}
+}
+
+// TestRunBeforePastDeadlineNoop: a deadline at or before the clock is a
+// no-op (repeat barriers must be idempotent).
+func TestRunBeforePastDeadlineNoop(t *testing.T) {
+	s := New()
+	s.RunUntil(50)
+	fired := false
+	s.Schedule(60, func() { fired = true })
+	s.RunBefore(50)
+	s.RunBefore(40)
+	if s.Now() != 50 {
+		t.Fatalf("clock moved to %v on no-op RunBefore, want 50", s.Now())
+	}
+	if fired {
+		t.Fatal("future event fired during no-op RunBefore")
+	}
+}
+
+// TestRunBeforeInterleavedWindows drives a self-rescheduling chain through
+// alternating RunBefore windows, mimicking the cluster's barrier stepping,
+// and checks the chain observes exactly the same times as one big
+// RunUntil.
+func TestRunBeforeInterleavedWindows(t *testing.T) {
+	chain := func(run func(s *Scheduler)) []Time {
+		s := New()
+		var seen []Time
+		var tick func()
+		tick = func() {
+			seen = append(seen, s.Now())
+			if s.Now() < 95 {
+				s.After(7, tick)
+			}
+		}
+		s.Schedule(3, tick)
+		run(s)
+		return seen
+	}
+	want := chain(func(s *Scheduler) { s.RunUntil(100) })
+	got := chain(func(s *Scheduler) {
+		for b := Time(10); b < 100; b += 10 {
+			s.RunBefore(b)
+		}
+		s.RunUntil(100)
+	})
+	if len(got) != len(want) {
+		t.Fatalf("windowed chain saw %d ticks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -154,7 +154,7 @@ func ExtPrio(cfg Config) *Report {
 			}
 			conns := sim.Schedule(specs)
 			rs := sim.SampleRates(conns, horizon/40, horizon)
-			sim.Net.Sched.RunUntil(horizon)
+			sim.RunUntil(horizon)
 			// Steady-state per-flow rates over the last quarter.
 			var rates []float64
 			var intraSum, interSum float64

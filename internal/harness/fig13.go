@@ -184,17 +184,20 @@ func Fig13C(cfg Config) *Report {
 		cut := topoCfg.LinkBps * int64(topoCfg.BorderLinks)
 		interRTT := sim.Topo.InterRTT(sim.MTU)
 		for _, it := range iters {
-			start := sim.Net.Now()
+			start := sim.Now()
 			flows := make([]workload.FlowSpec, len(it.Flows))
 			copy(flows, it.Flows)
 			for i := range flows {
 				flows[i].Start = start
 			}
 			conns := sim.Schedule(flows)
-			// Run until this iteration's flows all complete.
+			// Run until this iteration's flows all complete. Driving the
+			// loop through sim.RunUntil/sim.Now (not s.Net.Sched) keeps it
+			// engine-agnostic: on the sharded engine each step is a barrier
+			// round, after which reading the conns is coordinator-safe.
 			deadline := start + eventq.Second
-			for sim.Net.Now() < deadline {
-				sim.Net.Sched.RunUntil(sim.Net.Now() + eventq.Millisecond)
+			for sim.Now() < deadline {
+				sim.RunUntil(sim.Now() + eventq.Millisecond)
 				done := true
 				for _, c := range conns {
 					if c == nil || !c.Completed() {
@@ -206,7 +209,7 @@ func Fig13C(cfg Config) *Report {
 					break
 				}
 			}
-			elapsed := sim.Net.Now() - start
+			elapsed := sim.Now() - start
 			ideal := workload.IdealIterationTime(it, cut, interRTT)
 			ratios = append(ratios, float64(elapsed)/float64(ideal))
 		}

@@ -243,21 +243,24 @@ func Fig4(cfg Config) *Report {
 		}
 		sim.Schedule(rpcs)
 
-		// Sample the receiver's edge downlink queue.
+		// Sample the receiver's edge downlink queue. The timer lives on the
+		// receiver's own network — on the sharded engine that is the shard
+		// owning the port, so the poll never crosses a shard boundary.
 		coord := sim.Topo.Coord(sim.Topo.Hosts[recv].ID())
 		edge := sim.Topo.DCs[coord.DC].Edges[coord.Pod][coord.Edge]
 		port := edge.Port(coord.Idx)
+		rnet := sim.Topo.Hosts[recv].Network()
 		var q stats.Sample
 		var sample *eventq.Timer
-		sample = sim.Net.Sched.NewTimer(func() {
+		sample = rnet.Sched.NewTimer(func() {
 			q.Add(float64(port.QueuedBytes()))
-			if sim.Net.Now() < horizon {
+			if rnet.Now() < horizon {
 				sample.ResetAfter(20 * eventq.Microsecond)
 			}
 		})
 		sample.Reset(measureFrom)
 
-		sim.Net.Sched.RunUntil(horizon)
+		sim.RunUntil(horizon)
 
 		var rpcFCT stats.Sample
 		for _, res := range sim.Results() {

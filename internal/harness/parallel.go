@@ -53,6 +53,27 @@ func RunParallel[T any](parallel, n int, run func(job int) T) []T {
 	return out
 }
 
+// ClampParallel caps a rerun fan-out when each rerun is itself a sharded
+// simulation driving `shards` worker goroutines: the combined goroutine
+// budget stays at the machine's core count, so `parallel` reruns of
+// `shards`-worker sims get min(parallel, max(1, GOMAXPROCS/shards))
+// workers. shards <= 0 (legacy engine) and parallel <= 1 pass through
+// unchanged; parallel <= 0 (meaning "use GOMAXPROCS") resolves to the
+// per-rerun budget itself.
+func ClampParallel(parallel, shards int) int {
+	if shards <= 0 || parallel == 1 {
+		return parallel
+	}
+	budget := runtime.GOMAXPROCS(0) / shards
+	if budget < 1 {
+		budget = 1
+	}
+	if parallel <= 0 || parallel > budget {
+		return budget
+	}
+	return parallel
+}
+
 // simOut is the common per-job harvest of a rerun grid: the completed
 // flows, the number that missed the horizon, and the run's determinism
 // fingerprint.

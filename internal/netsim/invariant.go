@@ -63,7 +63,9 @@ type flowAccount struct {
 	injected  int64
 	delivered int64 // terminal deliveries (link into a Host)
 	dropped   int64
-	done      bool // an ACK with FlowDone was observed
+	exported  int64 // handed off to another shard via a cross-shard link
+	imported  int64 // materialized here from another shard's handoff
+	done      bool  // an ACK with FlowDone was observed
 }
 
 // pktInfo is the checker's view of one packet currently in the fabric.
@@ -111,6 +113,14 @@ type InvariantChecker struct {
 
 	pooledOut map[*Packet]struct{} // handed out by AllocPacket, not yet freed
 	freed     map[*Packet]struct{} // freed, not yet re-allocated
+
+	// Cross-shard accounting: importPending holds packets materialized
+	// from a handoff record whose arrival event has not fired yet — live
+	// in this shard but propagating on a link the physical walk cannot
+	// see (the cross link and its counters belong to the source shard).
+	// crossPending is its size, reconciled in Check.
+	importPending map[*Packet]struct{}
+	crossPending  int
 }
 
 // AttachInvariants wires a fresh checker into n: the current observer (if
@@ -120,13 +130,14 @@ type InvariantChecker struct {
 // of the run.
 func AttachInvariants(n *Network) *InvariantChecker {
 	c := &InvariantChecker{
-		net:       n,
-		Next:      n.Observer,
-		flows:     make(map[FlowID]*flowAccount),
-		live:      make(map[*Packet]pktInfo),
-		blocks:    make(map[blockKey]*blockAccount),
-		pooledOut: make(map[*Packet]struct{}),
-		freed:     make(map[*Packet]struct{}),
+		net:           n,
+		Next:          n.Observer,
+		flows:         make(map[FlowID]*flowAccount),
+		live:          make(map[*Packet]pktInfo),
+		blocks:        make(map[blockKey]*blockAccount),
+		pooledOut:     make(map[*Packet]struct{}),
+		freed:         make(map[*Packet]struct{}),
+		importPending: make(map[*Packet]struct{}),
 	}
 	n.Observer = c
 	n.poolHook = c
@@ -253,6 +264,12 @@ func (c *InvariantChecker) PacketDelivered(l *Link, p *Packet) {
 			c.live[p] = info
 		}
 	}
+	if _, pend := c.importPending[p]; pend {
+		// First delivery event of an imported packet: its cross-link
+		// propagation is over, so it stops counting against crossPending.
+		delete(c.importPending, p)
+		c.crossPending--
+	}
 	if info.flow != p.Flow {
 		c.violate("conservation", "packet changed flow in flight: sent on %d, delivered on %d", info.flow, p.Flow)
 	}
@@ -287,6 +304,10 @@ func (c *InvariantChecker) PacketDropped(where string, reason DropReason, p *Pac
 			c.violate("conservation", "packet dropped without a send event (id=%d type=%v flow=%d at %s)",
 				p.ID, p.Type, p.Flow, where)
 		}
+	}
+	if _, pend := c.importPending[p]; pend {
+		delete(c.importPending, p)
+		c.crossPending--
 	}
 	delete(c.live, p)
 	c.flow(p.Flow).dropped++
@@ -339,6 +360,38 @@ func (c *InvariantChecker) onFree(p *Packet) {
 	if info, inFabric := c.live[p]; inFabric {
 		c.violate("pool", "packet freed while still in fabric (flow %d, sent %v)", info.flow, info.sentAt)
 	}
+}
+
+// onExport implements the pool hook: a packet leaves this shard through a
+// cross-shard link. It must be live here (it was sent or imported), and it
+// stops being this checker's responsibility — the destination shard's
+// noteImport picks it up, and the cluster-level check reconciles the two.
+func (c *InvariantChecker) onExport(p *Packet) {
+	if _, live := c.live[p]; !live {
+		c.violate("conservation", "packet handed off without a send event (id=%d type=%v flow=%d)",
+			p.ID, p.Type, p.Flow)
+	}
+	if _, pend := c.importPending[p]; pend {
+		delete(c.importPending, p)
+		c.crossPending--
+	}
+	delete(c.live, p)
+	c.flow(p.Flow).exported++
+}
+
+// noteImport registers a packet materialized from another shard's handoff
+// record (called by the cluster's barrier drain, before the arrival event
+// is scheduled). The packet is live from this moment; until its arrival
+// event fires it counts against crossPending, the stand-in for the
+// source-owned link in-flight counter the physical walk cannot read.
+func (c *InvariantChecker) noteImport(p *Packet) {
+	if _, dup := c.live[p]; dup {
+		c.violate("conservation", "imported packet already in fabric (id=%d flow=%d)", p.ID, p.Flow)
+	}
+	c.live[p] = pktInfo{flow: p.Flow, sentAt: c.net.Now()}
+	c.flow(p.Flow).imported++
+	c.importPending[p] = struct{}{}
+	c.crossPending++
 }
 
 // checkQueues re-verifies every port, phantom queue, and link FIFO in the
@@ -496,18 +549,20 @@ func (c *InvariantChecker) Check() []Violation {
 		onLinks++
 		inflight[info.flow]++
 	}
-	if onLinks != linkInFlight {
-		c.violate("conservation", "%d live packets unaccounted by ports vs %d in flight on links",
-			onLinks, linkInFlight)
+	if onLinks != linkInFlight+c.crossPending {
+		c.violate("conservation", "%d live packets unaccounted by ports vs %d in flight on links (+%d cross-shard pending)",
+			onLinks, linkInFlight, c.crossPending)
 	}
 
-	// Per-flow conservation: injected = delivered + dropped + in-flight.
+	// Per-flow conservation: everything that entered this shard's fabric
+	// (injected here or imported from another shard) left it (delivered,
+	// dropped, or exported) or is still in flight.
 	for id, fa := range c.flows {
-		injected := fa.injected + extraInjected[id]
-		if injected != fa.delivered+fa.dropped+inflight[id] {
+		injected := fa.injected + fa.imported + extraInjected[id]
+		if injected != fa.delivered+fa.dropped+fa.exported+inflight[id] {
 			c.violate("conservation",
-				"flow %d: injected %d != delivered %d + dropped %d + in-flight %d",
-				id, injected, fa.delivered, fa.dropped, inflight[id])
+				"flow %d: injected %d + imported %d != delivered %d + dropped %d + exported %d + in-flight %d",
+				id, fa.injected+extraInjected[id], fa.imported, fa.delivered, fa.dropped, fa.exported, inflight[id])
 		}
 	}
 
@@ -531,4 +586,97 @@ func (c *InvariantChecker) Check() []Violation {
 		c.violate("time", "violation log truncated at %d entries", maxViolations)
 	}
 	return c.violations
+}
+
+// ClusterInvariants is the sharded-simulation invariant layer: one
+// InvariantChecker per shard plus the cross-shard handoff reconciliation
+// that no single shard can perform alone — every border handoff must be
+// accounted for (pushed = drained + queued per direction, and per flow:
+// exports = imports + records still queued). Build with
+// AttachClusterInvariants, read results with Check after the run.
+type ClusterInvariants struct {
+	cl *Cluster
+	// Shards holds the per-shard checkers, indexed by shard.
+	Shards []*InvariantChecker
+}
+
+// AttachClusterInvariants wires a fresh InvariantChecker into every shard
+// of cl and registers them with the cluster, so the barrier drain reports
+// imports as it materializes records. Attach before traffic flows.
+func AttachClusterInvariants(cl *Cluster) *ClusterInvariants {
+	ci := &ClusterInvariants{cl: cl}
+	for _, n := range cl.shards {
+		ci.Shards = append(ci.Shards, AttachInvariants(n))
+	}
+	cl.checkers = ci.Shards
+	return ci
+}
+
+// Events returns the total observer events seen across all shards.
+func (ci *ClusterInvariants) Events() uint64 {
+	var sum uint64
+	for _, c := range ci.Shards {
+		sum += c.Events()
+	}
+	return sum
+}
+
+// Check runs every shard's final sweep plus the cross-shard handoff
+// reconciliation and returns all violations. Call it from the
+// coordinating goroutine after the run (quiescent or not: records still
+// queued and arrivals still scheduled count as in flight).
+func (ci *ClusterInvariants) Check() []Violation {
+	var out []Violation
+	for _, c := range ci.Shards {
+		out = append(out, c.Check()...)
+	}
+	violate := func(format string, args ...any) {
+		out = append(out, Violation{
+			At: ci.cl.Now(), Check: "handoff", Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Per-direction counters: every record ever pushed was drained or is
+	// still queued. (The seeded drop defect counts its victim as drained,
+	// so this alone cannot catch it — the per-flow reconciliation below
+	// does, because the dropped record was never imported anywhere.)
+	inQueue := make(map[FlowID]int64)
+	for _, q := range ci.cl.queues {
+		if q == nil {
+			continue
+		}
+		if q.pushed != q.drained+uint64(q.n) {
+			violate("handoff %d→%d: pushed %d != drained %d + queued %d",
+				q.src, q.dst, q.pushed, q.drained, q.n)
+		}
+		for i := 0; i < q.n; i++ {
+			inQueue[q.recs[i].pkt.Flow]++
+		}
+	}
+
+	// Per-flow cross-shard conservation: exports = imports + queued.
+	exported := make(map[FlowID]int64)
+	imported := make(map[FlowID]int64)
+	for _, c := range ci.Shards {
+		for id, fa := range c.flows {
+			if fa.exported != 0 {
+				exported[id] += fa.exported
+			}
+			if fa.imported != 0 {
+				imported[id] += fa.imported
+			}
+		}
+	}
+	for id, ex := range exported {
+		if ex != imported[id]+inQueue[id] {
+			violate("flow %d: exported %d != imported %d + queued %d",
+				id, ex, imported[id], inQueue[id])
+		}
+	}
+	for id, im := range imported {
+		if _, ok := exported[id]; !ok {
+			violate("flow %d: %d imports without any export", id, im)
+		}
+	}
+	return out
 }

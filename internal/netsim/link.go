@@ -51,8 +51,22 @@ type Link struct {
 
 	// inFlight counts packets propagating on the link (delivered to it,
 	// not yet arrived downstream), in both delivery modes. The invariant
-	// layer reconciles it against its own packet accounting.
+	// layer reconciles it against its own packet accounting. Cross-shard
+	// links never use it: their in-transit packets live in the handoff
+	// queue (producer side) or as scheduled arrivals in the destination
+	// shard, and the invariant layer accounts for them with the
+	// export/import counters instead — a shared counter here would be a
+	// data race between shard goroutines.
 	inFlight int
+
+	// Cross-shard binding (Cluster.BindCross): non-nil xq marks this link
+	// as crossing into rxNet's shard. deliver then pushes handoff records
+	// into xq instead of scheduling local arrivals, and rxArriveFn runs
+	// the downstream half — observer fold and HandlePacket — inside the
+	// destination shard, against its clock and digest.
+	xq         *handoffQueue
+	rxNet      *Network
+	rxArriveFn func(any)
 
 	stats LinkStats
 }
@@ -72,6 +86,7 @@ func newLink(net *Network, to Node, bandwidth int64, delay eventq.Time, name str
 	}
 	l := &Link{net: net, Bandwidth: bandwidth, Delay: delay, Name: name, to: to, up: true}
 	l.arriveFn = l.arrive
+	l.rxArriveFn = l.rxArrive
 	l.arrTimer = net.Sched.NewTimer(l.arriveHead)
 	return l
 }
@@ -112,6 +127,20 @@ func (l *Link) deliver(p *Packet) {
 	}
 	l.stats.Delivered++
 	l.stats.Bytes += uint64(p.Size)
+	if l.xq != nil {
+		// Cross-shard handoff: copy the packet into the queue (value plus
+		// a record-owned Missing buffer) and recycle the original into
+		// the source shard's pool; the destination materializes a fresh
+		// packet from its own pool at the next window barrier. The drop
+		// and loss checks above already ran on the source side, at source
+		// time — exactly where the legacy path takes them.
+		if hk := l.net.poolHook; hk != nil {
+			hk.onExport(p)
+		}
+		l.xq.push(l.net.Now()+l.Delay, l, p)
+		l.net.FreePacket(p)
+		return
+	}
 	l.inFlight++
 	if !l.net.batch {
 		l.net.Sched.AfterArg(l.Delay, l.arriveFn, p)
@@ -146,6 +175,25 @@ func (l *Link) arrive(x any) {
 	p := x.(*Packet)
 	l.inFlight--
 	l.notifyDelivered(p)
+	l.to.HandlePacket(p)
+}
+
+// rxArrive fires in the destination shard when a handed-off packet
+// finishes propagating across a cross-shard link: the delivery is folded
+// into the *destination* shard's observer chain (its digest, its clock —
+// the same time and order the unsharded simulation would fold it at), and
+// the packet continues into the downstream node. Scheduled by the
+// cluster's barrier drain, never by this shard, so it is the only entry
+// point through which foreign traffic reaches a shard.
+func (l *Link) rxArrive(x any) {
+	p := x.(*Packet)
+	switch o := l.rxNet.Observer.(type) {
+	case nil:
+	case *DigestObserver:
+		o.PacketDelivered(l, p)
+	default:
+		o.PacketDelivered(l, p)
+	}
 	l.to.HandlePacket(p)
 }
 

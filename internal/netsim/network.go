@@ -15,7 +15,13 @@ type Network struct {
 	Rand  *rng.Rand
 
 	nodes  []Node
-	nextID uint64 // packet ID counter
+	nextID uint64 // packet ID counter (advances by idStep)
+	idStep uint64 // packet ID stride: 1 standalone, shard count when clustered
+
+	// shard/cluster place this network inside a partitioned simulation
+	// (netsim.Cluster). A standalone network is shard 0 of no cluster.
+	shard   int
+	cluster *Cluster
 
 	// pool is the packet free list. A simulation is a single-goroutine
 	// state machine, so a plain slice suffices — no sync.Pool, no locks.
@@ -47,9 +53,12 @@ type Network struct {
 }
 
 // poolHook receives packet-pool lifecycle events (invariant checking).
+// onExport fires when a packet leaves this shard's fabric through a
+// cross-shard link, just before it is freed into the local pool.
 type poolHook interface {
 	onAlloc(p *Packet)
 	onFree(p *Packet)
+	onExport(p *Packet)
 }
 
 // New creates an empty network with the given random seed.
@@ -59,8 +68,16 @@ func New(seed uint64) *Network {
 		Rand:      rng.New(seed),
 		LoopPanic: true,
 		batch:     BatchDefault(),
+		idStep:    1,
 	}
 }
+
+// Shard returns this network's shard index within its cluster (0 for a
+// standalone network).
+func (n *Network) Shard() int { return n.shard }
+
+// Cluster returns the owning cluster, or nil for a standalone network.
+func (n *Network) Cluster() *Cluster { return n.cluster }
 
 // SetBatchDelivery overrides the package-default batch mode for this
 // network. Call it right after New, before any packet is in flight: links
@@ -75,22 +92,41 @@ func (n *Network) BatchDelivery() bool { return n.batch }
 // Now returns the current simulated time.
 func (n *Network) Now() eventq.Time { return n.Sched.Now() }
 
-// register adds a node and returns its id.
+// register adds a node and returns its id. Clustered shards draw ids from
+// the cluster-wide registry — NodeIDs index a single space shared by the
+// routing coord tables and packet Src/Dst fields, so they must be unique
+// across shards — while still tracking the node locally for the invariant
+// layer's per-shard walks.
 func (n *Network) register(node Node) NodeID {
-	id := NodeID(len(n.nodes))
+	var id NodeID
+	if n.cluster != nil {
+		id = n.cluster.register(node)
+	} else {
+		id = NodeID(len(n.nodes))
+	}
 	n.nodes = append(n.nodes, node)
 	return id
 }
 
-// Node returns the node with the given id.
-func (n *Network) Node(id NodeID) Node { return n.nodes[id] }
+// Node returns the node with the given id (cluster-wide when clustered:
+// any shard resolves any node, since ids are cluster-unique).
+func (n *Network) Node(id NodeID) Node {
+	if n.cluster != nil {
+		return n.cluster.nodes[id]
+	}
+	return n.nodes[id]
+}
 
-// NumNodes returns the number of registered nodes.
+// NumNodes returns the number of nodes registered on this network (this
+// shard only, when clustered).
 func (n *Network) NumNodes() int { return len(n.nodes) }
 
-// NextPacketID hands out globally unique packet ids.
+// NextPacketID hands out unique packet ids: consecutive integers for a
+// standalone network, a shard-strided sequence (shard+1, shard+1+S, ...)
+// inside a cluster so ids stay unique across shards without cross-shard
+// coordination.
 func (n *Network) NextPacketID() uint64 {
-	n.nextID++
+	n.nextID += n.idStep
 	return n.nextID
 }
 

@@ -113,8 +113,11 @@ func newConn(ep *Endpoint, flow *Flow, params Params, cc CongestionControl, lb P
 	return c
 }
 
-// start runs the policies' Init hooks and begins transmitting.
-func (c *Conn) start() {
+// Launch runs the policies' Init hooks and begins transmitting. It must
+// run on the source host's shard at the flow's start time: everything
+// before it (newConn via Open) is passive setup, everything from here on
+// draws entropy and schedules events on the source shard's clock.
+func (c *Conn) Launch() {
 	c.lastProgress = c.Now()
 	c.cc.Init(c)
 	c.lb.Init(c)

@@ -62,10 +62,14 @@ func (ep *Endpoint) Sender(id netsim.FlowID) *Conn { return ep.senders[id] }
 // Receiver returns the receiving state for a flow, or nil.
 func (ep *Endpoint) Receiver(id netsim.FlowID) *Receiver { return ep.receivers[id] }
 
-// Start wires up a flow on its two endpoints and begins transmission
-// immediately (callers schedule it at flow.Start). onDone, which may be
+// Open wires up a flow on its two endpoints — sender Conn, passive
+// Receiver, demux registrations — without transmitting anything. The
+// returned Conn stays idle (no events scheduled, no RNG drawn) until
+// Launch runs; the sharded harness opens every flow at setup time from
+// the coordinating goroutine and schedules Launch on the source shard's
+// clock, while the legacy path keeps using Start. onDone, which may be
 // nil, is invoked once the sender observes the receiver's FlowDone.
-func Start(src, dst *Endpoint, flow *Flow, params Params,
+func Open(src, dst *Endpoint, flow *Flow, params Params,
 	cc CongestionControl, lb PathSelector, onDone func(*Conn)) (*Conn, error) {
 	if src.host != flow.Src || dst.host != flow.Dst {
 		return nil, fmt.Errorf("transport: endpoint/flow host mismatch for flow %d", flow.ID)
@@ -85,7 +89,28 @@ func Start(src, dst *Endpoint, flow *Flow, params Params,
 	rcv := newReceiver(dst, flow, params)
 	src.senders[flow.ID] = conn
 	dst.receivers[flow.ID] = rcv
-	conn.start()
+	return conn, nil
+}
+
+// MustOpen is Open for known-good arguments.
+func MustOpen(src, dst *Endpoint, flow *Flow, params Params,
+	cc CongestionControl, lb PathSelector, onDone func(*Conn)) *Conn {
+	c, err := Open(src, dst, flow, params, cc, lb, onDone)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Start is Open followed immediately by Launch: wire up the flow and
+// begin transmission now (callers schedule it at flow.Start).
+func Start(src, dst *Endpoint, flow *Flow, params Params,
+	cc CongestionControl, lb PathSelector, onDone func(*Conn)) (*Conn, error) {
+	conn, err := Open(src, dst, flow, params, cc, lb, onDone)
+	if err != nil {
+		return nil, err
+	}
+	conn.Launch()
 	return conn, nil
 }
 

@@ -47,12 +47,38 @@ fi
 # same committed digests byte-for-byte — that is the entire correctness
 # argument for both toggles. The full suite above already ran with the
 # defaults; rerun the digest + invariant suite once per explicit cell.
+#
+# The matrix gained a third dimension with the partitioned per-DC engine:
+# UNO_SHARDS 1 vs 2. The simtest fixtures are hand-wired single networks
+# (engine-independent), so the shards dimension instead runs the harness
+# sharded golden: a fixed dual-DC scenario whose committed digest both
+# worker counts must reproduce byte-for-byte, with cluster invariant
+# observers attached — worker-count independence stated as a golden.
 for batch in on off; do
     for defer_mode in on off; do
         echo "== golden digests + invariants, UNO_BATCH=$batch UNO_DIGEST_DEFER=$defer_mode =="
         UNO_BATCH=$batch UNO_DIGEST_DEFER=$defer_mode go test -count=1 ./internal/simtest/
+        for sh in 1 2; do
+            echo "== sharded golden, UNO_BATCH=$batch UNO_DIGEST_DEFER=$defer_mode UNO_SHARDS=$sh =="
+            UNO_BATCH=$batch UNO_DIGEST_DEFER=$defer_mode UNO_SHARDS=$sh \
+                go test -count=1 -run 'TestShardedGoldenDigest' ./internal/harness/
+        done
     done
 done
+
+# The sharded engine's proof obligations run explicitly under the race
+# detector with caching disabled: the metamorphic worker-count equivalence
+# property, the cross-shard conservation ledger on the dual-DC fat-tree,
+# and the netsim cluster suite (handoff determinism, strided packet IDs,
+# the seeded dropped-handoff defect the ledger must catch).
+echo "== sharded engine property tests, -race -count=1 =="
+for sh in 1 2; do
+    UNO_SHARDS=$sh go test -race -count=1 \
+        -run 'TestShardedGoldenDigest|TestShardEquivalenceProperty|TestShardedFatTreeConservation' \
+        ./internal/harness/
+done
+go test -race -count=1 -run 'TestCluster|TestBindCross|TestRunBefore' \
+    ./internal/netsim/ ./internal/eventq/
 
 # The eventq property tests (wheel-vs-reference-model fire sequences,
 # ReserveSeq boundary interleavings, stale-fire checks) are the proof

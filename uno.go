@@ -25,6 +25,8 @@
 package uno
 
 import (
+	"fmt"
+
 	"uno/internal/collective"
 	"uno/internal/core"
 	"uno/internal/ec"
@@ -80,9 +82,20 @@ type FlowResult = harness.FlowResult
 type Stack = harness.Stack
 
 // NewSim builds a simulation with the given seed, topology, and stack.
-// Identical arguments produce bit-identical runs.
+// Identical arguments produce bit-identical runs. The engine follows the
+// process-wide default (UNO_SHARDS / netsim.SetShardDefault): unset keeps
+// the classic single-scheduler path; see NewShardedSim to choose per-sim.
 func NewSim(seed uint64, cfg TopologyConfig, stack Stack) *Sim {
 	return harness.MustNewSim(seed, cfg, stack)
+}
+
+// NewShardedSim builds a simulation on the partitioned per-DC engine with
+// the given worker-goroutine count (>= 1); workers selects parallelism
+// only, so results are bit-identical for every worker count. workers <= 0
+// selects the classic single-scheduler engine. Ring collectives
+// (StartRing) require the classic engine.
+func NewShardedSim(seed uint64, cfg TopologyConfig, stack Stack, workers int) (*Sim, error) {
+	return harness.NewSimShards(seed, cfg, stack, workers)
 }
 
 // The protocol stacks of the paper's evaluation.
@@ -159,8 +172,13 @@ type RingConfig = collective.RingConfig
 type Ring = collective.Ring
 
 // StartRing launches a ring Allreduce over the simulation's transport;
-// onComplete receives the collective's elapsed time.
+// onComplete receives the collective's elapsed time. Collectives chain
+// dependent flows from completion callbacks, which the partitioned engine
+// does not support — sim must be built on the classic engine.
 func StartRing(sim *Sim, cfg RingConfig, onComplete func(elapsed Time)) (*Ring, error) {
+	if sim.Sharded() {
+		return nil, fmt.Errorf("uno: StartRing requires the classic engine (build the Sim with UNO_SHARDS=off)")
+	}
 	return collective.Start(sim, sim.Net.Sched, cfg, onComplete)
 }
 
