@@ -51,6 +51,38 @@ func BenchmarkExtTrim(b *testing.B)    { runExperiment(b, "ext-trim", 1) }
 func BenchmarkExtAnnulus(b *testing.B) { runExperiment(b, "ext-annulus", 1) }
 func BenchmarkExtPrio(b *testing.B)    { runExperiment(b, "ext-prio", 0.5) }
 
+// BenchmarkTournament runs the full coexistence matrix at reduced scale.
+func BenchmarkTournament(b *testing.B) { runExperiment(b, "tournament", 0.05) }
+
+// BenchmarkTournamentCell measures one adversarial coexistence cell (UnoCC
+// vs BBR at 128× RTT asymmetry) — the hot unit of the tournament matrix.
+func BenchmarkTournamentCell(b *testing.B) {
+	cs := uno.TournamentContenders()
+	var unocc, bbr uno.TournamentContender
+	for _, c := range cs {
+		switch c.Name {
+		case "unocc":
+			unocc = c
+		case "bbr":
+			bbr = c
+		}
+	}
+	var mixed uno.TournamentRegime
+	for _, r := range uno.TournamentRegimes() {
+		if r.Name == "mixed-128x" {
+			mixed = r
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		res := uno.TournamentCell(42, unocc, bbr, mixed, 4*uno.Millisecond)
+		if res.Digest == 0 {
+			b.Fatal("cell reported zero digest")
+		}
+		b.ReportMetric(res.Jain, "jain")
+		b.ReportMetric(res.NearShare, "unoShare")
+	}
+}
+
 // ablationIncast runs the Fig 3 mixed incast under a (possibly modified)
 // Uno stack, averaged over several seeds (a single incast run is noisy),
 // and reports mean/worst FCT and the time to sustained fairness.
@@ -209,12 +241,14 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"fig8": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13a": true, "fig13b": true, "fig13c": true,
 		"ext-trim": true, "ext-annulus": true, "ext-prio": true,
+		"tournament": true,
 	}
 	for _, e := range uno.Experiments() {
 		if !covered[e.ID] {
 			t.Errorf("experiment %s has no benchmark", e.ID)
 		}
-		valid := strings.HasPrefix(e.ID, "fig") || strings.HasPrefix(e.ID, "ext-") || e.ID == "table1"
+		valid := strings.HasPrefix(e.ID, "fig") || strings.HasPrefix(e.ID, "ext-") ||
+			e.ID == "table1" || e.ID == "tournament"
 		if e.Title == "" || !valid {
 			t.Errorf("experiment %s malformed", e.ID)
 		}

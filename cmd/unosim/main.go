@@ -11,6 +11,7 @@
 //	unosim -exp fig13a -parallel 4     # fan independent reruns across cores
 //	unosim -exp fig3 -batch off        # cross-check unbatched link delivery
 //	unosim -exp fig3 -shards 2         # partitioned per-DC engine, 2 workers
+//	unosim -exp tournament -json t.json  # CC coexistence matrix + JSON emit
 //
 // Scale 1 is a minutes-long quick validation (like sc25_quick_validation);
 // larger scales add flows, reruns, and duration toward paper scale.
@@ -48,6 +49,7 @@ func main() {
 			"partitioned per-DC engine: off (legacy single scheduler), or N >= 1 worker goroutines per sim (results are identical for every N >= 1; -parallel is clamped so reruns x workers stays within GOMAXPROCS)")
 		list       = flag.Bool("list", false, "list available experiments")
 		out        = flag.String("out", "", "also write CSV + text artifacts under this directory (like the paper's artifact_results/)")
+		jsonPath   = flag.String("json", "", "write the report's machine-readable JSON emit to this file (experiments that produce one, e.g. tournament)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -123,6 +125,17 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %d artifact files under %s\n\n", len(paths), *out)
+		}
+		if *jsonPath != "" {
+			if report.JSON == nil {
+				fmt.Fprintf(os.Stderr, "experiment %s produces no JSON emit\n", e.ID)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonPath, report.JSON, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing json: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote JSON emit to %s\n\n", *jsonPath)
 		}
 	}
 

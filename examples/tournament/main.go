@@ -1,0 +1,49 @@
+// Tournament: single coexistence cells as a library program. UnoCC defends
+// an intra-DC bottleneck against each baseline arriving over the WAN at
+// 128× RTT asymmetry — the adversarial corner of the full pairwise matrix
+// that `unosim -exp tournament` sweeps. For each pairing the program
+// prints the mid-window Jain index, the per-scheme bandwidth split, and
+// the time to sustained fairness.
+package main
+
+import (
+	"fmt"
+
+	"uno"
+)
+
+func main() {
+	horizon := 20 * uno.Millisecond
+
+	contenders := uno.TournamentContenders()
+	var unocc uno.TournamentContender
+	for _, c := range contenders {
+		if c.Name == "unocc" {
+			unocc = c
+		}
+	}
+	var mixed uno.TournamentRegime
+	for _, r := range uno.TournamentRegimes() {
+		if r.Name == "mixed-128x" {
+			mixed = r
+		}
+	}
+
+	fmt.Printf("=== unocc (intra) vs challenger (inter, RTT ratio %gx), horizon %v\n",
+		mixed.Ratio, horizon)
+	fmt.Printf("%-10s %-10s %-10s %-10s %s\n",
+		"challenger", "jain(mid)", "uno share", "chal share", "ttf(J>0.75)")
+	for _, far := range contenders {
+		if far.Name == "unocc" {
+			continue
+		}
+		res := uno.TournamentCell(42, unocc, far, mixed, horizon)
+		ttf := "never"
+		if res.TTFMillis >= 0 {
+			ttf = fmt.Sprintf("%.2fms", res.TTFMillis)
+		}
+		fmt.Printf("%-10s %-10.3f %-10.3f %-10.3f %s\n",
+			far.Name, res.Jain, res.NearShare, res.FarShare, ttf)
+	}
+	fmt.Println("\nfull matrix: unosim -exp tournament [-json out.json]")
+}

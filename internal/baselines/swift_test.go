@@ -95,3 +95,73 @@ func TestSwiftCutRateLimited(t *testing.T) {
 		t.Fatal("cut not rate-limited to once per RTT")
 	}
 }
+
+// TestSwiftDecreaseFloors pins the cwnd floor on both decrease paths.
+// The timeout cases fail on the pre-floor code (OnTimeout halved
+// unboundedly); the MD-at-floor case additionally documents that the
+// controller itself enforces the floor instead of leaning on the
+// transport's one-packet backstop.
+func TestSwiftDecreaseFloors(t *testing.T) {
+	const mss = 4096 + transport.HeaderSize // one wire packet
+	cases := []struct {
+		name    string
+		minCwnd float64 // config, wire bytes (0 = default 1 MSS)
+		start   float64 // cwnd before the decrease
+		timeout bool    // OnTimeout vs over-target OnAck MD
+		want    float64
+	}{
+		{"timeout-above-floor", 0, 10 * mss, true, 5 * mss},
+		{"timeout-hits-default-floor", 0, 1.5 * mss, true, 1 * mss},
+		{"timeout-hits-raised-floor", 8 * mss, 10 * mss, true, 8 * mss},
+		{"md-hits-raised-floor", 8 * mss, 9 * mss, false, 8 * mss},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := simtest.NewIncast(73, bw100G, []eventq.Time{eventq.Microsecond}, simtest.PortConfig())
+			rtt := in.BaseRTT(0, 4096, bw100G)
+			cc := NewSwift(SwiftConfig{BaseRTT: rtt, MinCwnd: tc.minCwnd})
+			conn := start(t, in, 0, 1, 1<<20, cc)
+			conn.SetCwnd(tc.start)
+			if tc.timeout {
+				cc.OnTimeout(conn)
+			} else {
+				// Fresh overshoot sample well past any earlier cut.
+				cc.OnAck(conn, transport.AckInfo{
+					RTT: rtt * 3, Bytes: mss, Now: in.Net.Now() + eventq.Second,
+				})
+			}
+			if got := conn.Cwnd(); got != tc.want {
+				t.Fatalf("cwnd after decrease = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSwiftTimeoutCountsAsCut is the timeout double-cut regression: a
+// timeout's halving must count as this RTT's decrease, so the first
+// over-target ACK right after it must not shrink the window again. On the
+// pre-fix code OnTimeout did not record lastCut and the window was cut
+// twice within one RTT.
+func TestSwiftTimeoutCountsAsCut(t *testing.T) {
+	in := simtest.NewIncast(74, bw100G, []eventq.Time{eventq.Microsecond}, simtest.PortConfig())
+	rtt := in.BaseRTT(0, 4096, bw100G)
+	cc := NewSwift(SwiftConfig{BaseRTT: rtt})
+	conn := start(t, in, 0, 1, 1<<20, cc)
+	in.Net.Sched.RunUntil(eventq.Millisecond)
+
+	w := conn.Cwnd()
+	before := cc.Cuts // organic cuts from the live run don't matter here
+	cc.OnTimeout(conn)
+	if got := conn.Cwnd(); got != w/2 {
+		t.Fatalf("cwnd after timeout = %v, want %v", got, w/2)
+	}
+	// Over-target ACK immediately after the timeout: within one RTT of the
+	// halving, so no second cut.
+	cc.OnAck(conn, transport.AckInfo{RTT: rtt * 3, Bytes: 4160, Now: in.Net.Now()})
+	if cc.Cuts != before {
+		t.Fatalf("delay MD fired %d cut(s) within one RTT of a timeout", cc.Cuts-before)
+	}
+	if got := conn.Cwnd(); got != w/2 {
+		t.Fatalf("cwnd double-cut after timeout: %v, want %v", got, w/2)
+	}
+}

@@ -141,7 +141,7 @@ func TestConfigDefaultsAndScaling(t *testing.T) {
 
 func TestRegistryAndFind(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 15 { // 12 paper figures/tables + 3 extensions
+	if len(reg) != 16 { // 12 paper figures/tables + 3 extensions + tournament
 		t.Fatalf("registry has %d experiments", len(reg))
 	}
 	seen := map[string]bool{}
@@ -362,7 +362,15 @@ func TestRateSamplerFairnessMetrics(t *testing.T) {
 	horizon := 6 * eventq.Millisecond
 	rs := sim.SampleRates(conns, horizon/24, horizon)
 	sim.Run(horizon)
-	if j := rs.MeanJain(8, 24); j < 0.9 {
+	// The completion-bin fix means MeanJain over a raw bin range now
+	// includes the final partial bin, where even identical flows finish a
+	// few packets apart; ContestedJain's mid-window is the edge-excluding
+	// metric, so that is what carries the ≥0.9 bar (the raw mean keeps a
+	// looser floor).
+	if j := rs.ContestedJain(); j < 0.9 {
+		t.Fatalf("identical flows contested Jain = %v", j)
+	}
+	if j := rs.MeanJain(8, 24); j < 0.85 {
 		t.Fatalf("identical flows Jain = %v", j)
 	}
 	if ttf := rs.TimeToFairness(0.9, 2); ttf < 0 {

@@ -125,6 +125,10 @@ type Report struct {
 	// regardless of Config.Parallel. Zero means the experiment ran no
 	// packet-level simulations (e.g. the analytic fig1).
 	Digest uint64
+	// JSON, when non-nil, is a machine-readable emit of the report's raw
+	// results (the tournament's per-cell records); WriteArtifacts saves it
+	// alongside the CSV tables.
+	JSON []byte
 
 	ndigests int
 }
@@ -165,6 +169,13 @@ func (r *Report) WriteArtifacts(dir string) ([]string, error) {
 		name := fmt.Sprintf("table%d.csv", i+1)
 		p := filepath.Join(sub, name)
 		if err := os.WriteFile(p, []byte(t.CSV()), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	if r.JSON != nil {
+		p := filepath.Join(sub, "report.json")
+		if err := os.WriteFile(p, r.JSON, 0o644); err != nil {
 			return nil, err
 		}
 		paths = append(paths, p)
@@ -255,6 +266,7 @@ func Registry() []Experiment {
 		{ID: "ext-trim", Title: "Extension: packet trimming vs erasure coding (§6)", Run: ExtTrim},
 		{ID: "ext-annulus", Title: "Extension: Annulus near-source loop (footnote 4)", Run: ExtAnnulus},
 		{ID: "ext-prio", Title: "Extension: per-class WRR vs flow-level fairness (footnote 1)", Run: ExtPrio},
+		{ID: "tournament", Title: "CC coexistence tournament: pairwise matrix on shared bottlenecks", Run: Tournament},
 	}
 }
 

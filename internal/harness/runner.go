@@ -483,7 +483,10 @@ func (rs *RateSampler) bothClassesActive(b int) bool {
 	}
 	var intraAny, interAny, intraActive, interActive bool
 	for i := range rs.Series {
-		active := rs.doneAt[i] < 0 || rs.doneAt[i] > b
+		// doneAt is the bin the flow completed *in*: it was still
+		// transmitting during that bin, so only strictly later bins count
+		// it as finished.
+		active := rs.doneAt[i] < 0 || rs.doneAt[i] >= b
 		if rs.inter[i] {
 			interAny = true
 			interActive = interActive || active
@@ -583,12 +586,15 @@ func (rs *RateSampler) RatesAt(b int) []float64 {
 	return out
 }
 
-// activeRatesAt returns the goodputs of flows that had started and not yet
-// completed during bin b.
+// activeRatesAt returns the goodputs of flows that were still transmitting
+// during bin b. A flow with doneAt == b completed *within* bin b and was
+// active for part of it, so only bins strictly after doneAt are excluded —
+// dropping the completion bin biased the Jain computation near flow
+// completions.
 func (rs *RateSampler) activeRatesAt(b int) []float64 {
 	var out []float64
 	for i, ts := range rs.Series {
-		if rs.doneAt[i] >= 0 && rs.doneAt[i] <= b {
+		if rs.doneAt[i] >= 0 && rs.doneAt[i] < b {
 			continue
 		}
 		out = append(out, ts.Sum(b)/ts.BinWidth().Seconds())

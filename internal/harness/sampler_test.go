@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"testing"
+
+	"uno/internal/eventq"
+	"uno/internal/stats"
+)
+
+// newTestSampler builds a RateSampler directly, bypassing any simulation:
+// rates[i][b] is flow i's goodput (bytes) in bin b, doneAt[i] the bin the
+// flow completed in (-1 while active), classes the optional inter-DC labels.
+func newTestSampler(rates [][]float64, doneAt []int, classes []bool) *RateSampler {
+	rs := &RateSampler{doneAt: doneAt, inter: classes}
+	for _, row := range rates {
+		ts := stats.NewTimeSeries(0, eventq.Millisecond, len(row))
+		for b, v := range row {
+			ts.AddTo(eventq.Time(b)*eventq.Millisecond, v)
+		}
+		rs.Series = append(rs.Series, ts)
+	}
+	return rs
+}
+
+// TestRateSamplerCountsCompletionBin is the completion-bin off-by-one
+// regression: doneAt records the bin a flow completed *in*, i.e. a bin the
+// flow was still transmitting during, so that bin must stay in the active
+// set. The pre-fix code excluded it (doneAt <= b), silently dropping the
+// completion bin from every Jain computation.
+func TestRateSamplerCountsCompletionBin(t *testing.T) {
+	// Flow 0 completes during bin 1; flow 1 runs to the horizon.
+	rs := newTestSampler(
+		[][]float64{{10, 10, 0, 0}, {10, 10, 10, 10}},
+		[]int{1, -1},
+		[]bool{true, false},
+	)
+	for b, wantActive := range []int{2, 2, 1, 1} {
+		if got := len(rs.activeRatesAt(b)); got != wantActive {
+			t.Errorf("activeRatesAt(%d) counted %d flows, want %d", b, got, wantActive)
+		}
+	}
+	for b, want := range []bool{true, true, false, false} {
+		if got := rs.bothClassesActive(b); got != want {
+			t.Errorf("bothClassesActive(%d) = %v, want %v", b, got, want)
+		}
+	}
+	// The contested period therefore runs through the completion bin.
+	if last := rs.lastContestedBin(); last != 1 {
+		t.Fatalf("lastContestedBin = %d, want 1", last)
+	}
+	// Both contested bins have equal shares → perfect Jain.
+	if j := rs.MeanJain(0, 4); j != 1 {
+		t.Fatalf("MeanJain over contested bins = %v, want 1", j)
+	}
+}

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"uno/internal/eventq"
+)
+
+// TestTournamentMatrixShape checks the ISSUE's coverage floor: at least 21
+// distinct pairings (7 choose 2) plus self-pairings, each swept over at
+// least 3 RTT regimes, with the report carrying one table per regime and a
+// parseable JSON emit.
+func TestTournamentMatrixShape(t *testing.T) {
+	cs := Contenders()
+	if len(cs) != 7 {
+		t.Fatalf("Contenders() returned %d entrants, want 7", len(cs))
+	}
+	names := map[string]bool{}
+	for _, c := range cs {
+		if names[c.Name] {
+			t.Fatalf("duplicate contender %q", c.Name)
+		}
+		names[c.Name] = true
+	}
+	for _, want := range []string{"unocc", "gemini", "mprdma", "bbr", "dctcp", "swift", "annulus"} {
+		if !names[want] {
+			t.Fatalf("contender %q missing", want)
+		}
+	}
+	regs := TournamentRegimes()
+	if len(regs) < 3 {
+		t.Fatalf("only %d regimes, want >= 3", len(regs))
+	}
+
+	r := Tournament(Config{Scale: 0.05, Seed: 7, Parallel: 0})
+	if len(r.Tables) != len(regs) {
+		t.Fatalf("report has %d tables, want one per regime (%d)", len(r.Tables), len(regs))
+	}
+	wantPairs := len(cs) * (len(cs) + 1) / 2 // unordered pairs incl. self
+	for _, tbl := range r.Tables {
+		if len(tbl.Rows) != wantPairs {
+			t.Fatalf("table %q has %d rows, want %d", tbl.Title, len(tbl.Rows), wantPairs)
+		}
+	}
+	if r.Digest == 0 {
+		t.Fatal("tournament report has no digest")
+	}
+
+	var emit struct {
+		Experiment string       `json:"experiment"`
+		Cells      []CellResult `json:"cells"`
+	}
+	if err := json.Unmarshal(r.JSON, &emit); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if emit.Experiment != "tournament" {
+		t.Fatalf("JSON experiment = %q", emit.Experiment)
+	}
+	if want := wantPairs * len(regs); len(emit.Cells) != want {
+		t.Fatalf("JSON has %d cells, want %d", len(emit.Cells), want)
+	}
+	for _, c := range emit.Cells {
+		if c.Jain < 0 || c.Jain > 1 {
+			t.Fatalf("cell %s vs %s (%s): Jain %v out of [0,1]", c.Near, c.Far, c.Regime, c.Jain)
+		}
+		if s := c.NearShare + c.FarShare; s != 0 && (s < 0.999 || s > 1.001) {
+			t.Fatalf("cell %s vs %s (%s): shares sum to %v", c.Near, c.Far, c.Regime, s)
+		}
+	}
+}
+
+// TestTournamentDeterministicAcrossParallelism is the tentpole's hard
+// requirement: serial and parallel fan-out must render byte-identical
+// reports, digest and JSON emit included.
+func TestTournamentDeterministicAcrossParallelism(t *testing.T) {
+	cs := Contenders()[:3] // unocc, gemini, mprdma — enough to cross schemes
+	serial := tournament(Config{Scale: 0.05, Seed: 11, Parallel: 1}, cs)
+	fanned := tournament(Config{Scale: 0.05, Seed: 11, Parallel: 4}, cs)
+	if serial.Digest == 0 || serial.Digest != fanned.Digest {
+		t.Fatalf("digest differs across parallelism: serial %016x, parallel %016x",
+			serial.Digest, fanned.Digest)
+	}
+	if serial.String() != fanned.String() {
+		t.Fatalf("rendered report differs across parallelism:\n-- serial --\n%s\n-- parallel --\n%s",
+			serial, fanned)
+	}
+	if !bytes.Equal(serial.JSON, fanned.JSON) {
+		t.Fatal("JSON emit differs across parallelism")
+	}
+}
+
+// TestTournamentCellSelfPairingIsFair pins the cell mechanics: a
+// controller competing against itself on a symmetric intra-DC bottleneck
+// must converge to a fair, near-even split, and the cell must report a
+// digest and a reached time-to-fairness.
+func TestTournamentCellSelfPairingIsFair(t *testing.T) {
+	cs := Contenders()
+	var mprdma Contender
+	for _, c := range cs {
+		if c.Name == "mprdma" {
+			mprdma = c
+		}
+	}
+	reg := TournamentRegimes()[0] // intra, symmetric
+	res := TournamentCell(42, mprdma, mprdma, reg, 8*eventq.Millisecond)
+	if res.Jain < 0.9 {
+		t.Fatalf("self-pairing Jain = %v, want >= 0.9", res.Jain)
+	}
+	if res.NearShare < 0.35 || res.NearShare > 0.65 {
+		t.Fatalf("self-pairing near share = %v, want ~0.5", res.NearShare)
+	}
+	if res.TTFMillis < 0 {
+		t.Fatal("self-pairing never reached sustained fairness")
+	}
+	if res.Digest == 0 {
+		t.Fatal("cell reported zero digest")
+	}
+
+	again := TournamentCell(42, mprdma, mprdma, reg, 8*eventq.Millisecond)
+	if again.Digest != res.Digest {
+		t.Fatalf("cell digest not rerun-stable: %016x then %016x", res.Digest, again.Digest)
+	}
+}

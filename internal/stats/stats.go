@@ -221,6 +221,60 @@ func (h Histogram) Sparkline() string {
 	return string(out)
 }
 
+// Shares normalizes the allocations to fractions of their total — the
+// per-scheme throughput-share columns of the coexistence tournament. An
+// all-zero input yields all-zero shares.
+func Shares(xs []float64) []float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	out := make([]float64, len(xs))
+	if total == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / total
+	}
+	return out
+}
+
+// GroupSums accumulates allocations by group label: out[g] is the sum of
+// xs[i] over all i with group[i] == g. It panics when a label falls outside
+// [0, ngroups) or the slices disagree in length.
+func GroupSums(xs []float64, group []int, ngroups int) []float64 {
+	if len(xs) != len(group) {
+		panic(fmt.Sprintf("stats: GroupSums got %d values for %d labels", len(xs), len(group)))
+	}
+	out := make([]float64, ngroups)
+	for i, x := range xs {
+		out[group[i]] += x
+	}
+	return out
+}
+
+// SustainedAbove returns the first index at which the series stays at or
+// above thresh for sustain consecutive entries, or -1 if no such window
+// exists — the generic convergence-time primitive behind time-to-fairness
+// metrics. It panics for sustain <= 0.
+func SustainedAbove(xs []float64, thresh float64, sustain int) int {
+	if sustain <= 0 {
+		panic(fmt.Sprintf("stats: SustainedAbove needs positive sustain, got %d", sustain))
+	}
+	streak := 0
+	for i, x := range xs {
+		if x >= thresh {
+			streak++
+			if streak >= sustain {
+				return i - sustain + 1
+			}
+		} else {
+			streak = 0
+		}
+	}
+	return -1
+}
+
 // JainIndex returns Jain's fairness index of the given allocations:
 // (Σx)² / (n·Σx²). It is 1.0 for perfectly equal shares and 1/n when a
 // single flow hogs everything. Returns 0 for an empty or all-zero input.

@@ -319,3 +319,58 @@ func TestTimeSeriesInvalidGeometryPanics(t *testing.T) {
 	}()
 	NewTimeSeries(0, 0, 10)
 }
+
+func TestShares(t *testing.T) {
+	got := Shares([]float64{3, 1})
+	if got[0] != 0.75 || got[1] != 0.25 {
+		t.Fatalf("Shares = %v", got)
+	}
+	for _, z := range Shares([]float64{0, 0, 0}) {
+		if z != 0 {
+			t.Fatal("all-zero input must give all-zero shares")
+		}
+	}
+	if len(Shares(nil)) != 0 {
+		t.Fatal("empty input must give empty shares")
+	}
+}
+
+func TestGroupSums(t *testing.T) {
+	got := GroupSums([]float64{1, 2, 4, 8}, []int{0, 1, 0, 1}, 2)
+	if got[0] != 5 || got[1] != 10 {
+		t.Fatalf("GroupSums = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	GroupSums([]float64{1}, []int{0, 1}, 2)
+}
+
+func TestSustainedAbove(t *testing.T) {
+	cases := []struct {
+		xs      []float64
+		thresh  float64
+		sustain int
+		want    int
+	}{
+		{[]float64{0, 0.8, 0.8, 0.8}, 0.75, 3, 1},
+		{[]float64{0.8, 0.7, 0.8, 0.8}, 0.75, 2, 2},
+		{[]float64{0.8, 0.8}, 0.75, 3, -1},
+		{nil, 0.75, 1, -1},
+		{[]float64{0.75}, 0.75, 1, 0}, // boundary: >= counts
+	}
+	for _, tc := range cases {
+		if got := SustainedAbove(tc.xs, tc.thresh, tc.sustain); got != tc.want {
+			t.Errorf("SustainedAbove(%v, %v, %d) = %d, want %d",
+				tc.xs, tc.thresh, tc.sustain, got, tc.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive sustain did not panic")
+		}
+	}()
+	SustainedAbove([]float64{1}, 0, 0)
+}

@@ -54,6 +54,11 @@ fi
 # sharded golden: a fixed dual-DC scenario whose committed digest both
 # worker counts must reproduce byte-for-byte, with cluster invariant
 # observers attached — worker-count independence stated as a golden.
+#
+# The simtest suite also carries the tournament smoke cell
+# (TestGoldenTournamentCell): one coexistence-matrix cell whose committed
+# digest every UNO_BATCH × UNO_DIGEST_DEFER cell must reproduce, pinning
+# the tournament harness itself into this matrix.
 for batch in on off; do
     for defer_mode in on off; do
         echo "== golden digests + invariants, UNO_BATCH=$batch UNO_DIGEST_DEFER=$defer_mode =="

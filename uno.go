@@ -243,3 +243,27 @@ func RunExperiment(id string, cfg ExperimentConfig) (*Report, bool) {
 	}
 	return e.Run(cfg), true
 }
+
+// The CC coexistence tournament (experiment id "tournament"): every pair
+// of the repo's congestion controllers competing on a shared bottleneck
+// across RTT regimes. Run the full matrix with RunExperiment("tournament",
+// ...) or individual cells with TournamentCell.
+type (
+	// TournamentContender is one controller entering the tournament.
+	TournamentContender = harness.Contender
+	// TournamentRegime is one RTT configuration of a tournament cell.
+	TournamentRegime = harness.Regime
+	// TournamentCellResult scores one pairing under one regime.
+	TournamentCellResult = harness.CellResult
+)
+
+var (
+	// TournamentContenders returns the tournament's entrants (UnoCC,
+	// Gemini, MPRDMA, BBR, DCTCP, Swift, Annulus).
+	TournamentContenders = harness.Contenders
+	// TournamentRegimes returns the swept RTT regimes (intra, inter, and
+	// mixed at 16× and 128× RTT asymmetry).
+	TournamentRegimes = harness.TournamentRegimes
+	// TournamentCell runs one pairing under one regime and scores it.
+	TournamentCell = harness.TournamentCell
+)
