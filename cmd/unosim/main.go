@@ -12,6 +12,7 @@
 //	unosim -exp fig3 -batch off        # cross-check unbatched link delivery
 //	unosim -exp fig3 -shards 2         # partitioned per-DC engine, 2 workers
 //	unosim -exp tournament -json t.json  # CC coexistence matrix + JSON emit
+//	unosim -exp fountain -ec fountain  # rateless UnoRC vs the RS(8,2) default
 //
 // Scale 1 is a minutes-long quick validation (like sc25_quick_validation);
 // larger scales add flows, reruns, and duration toward paper scale.
@@ -34,6 +35,7 @@ import (
 
 	"uno/internal/harness"
 	"uno/internal/netsim"
+	"uno/internal/transport"
 )
 
 func main() {
@@ -47,6 +49,8 @@ func main() {
 			"batched link delivery: on (per-link arrival FIFO, one scheduler insert per busy period) or off (one insert per packet); results are identical either way")
 		shards = flag.String("shards", netsim.ShardMode(netsim.ShardDefault()),
 			"partitioned per-DC engine: off (legacy single scheduler), or N >= 1 worker goroutines per sim (results are identical for every N >= 1; -parallel is clamped so reruns x workers stays within GOMAXPROCS)")
+		ecScheme = flag.String("ec", transport.ECSchemeName(transport.ECSchemeDefault()),
+			"erasure-coding scheme for EC-enabled flows: rs82 (fixed-rate Reed-Solomon, the paper's default) or fountain (rateless LT, DESIGN.md §3.9); UNO_EC sets the same default")
 		list       = flag.Bool("list", false, "list available experiments")
 		out        = flag.String("out", "", "also write CSV + text artifacts under this directory (like the paper's artifact_results/)")
 		jsonPath   = flag.String("json", "", "write the report's machine-readable JSON emit to this file (experiments that produce one, e.g. tournament)")
@@ -69,6 +73,13 @@ func main() {
 	}
 	netsim.SetShardDefault(nshards)
 	*parallel = harness.ClampParallel(*parallel, nshards)
+
+	scheme, err := transport.ParseECScheme(*ecScheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	transport.SetECSchemeDefault(scheme)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -1,0 +1,114 @@
+package ec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFountainDecode throws adversarial symbol streams at the fountain
+// decoder: random subsets, duplicates, out-of-range ids, corrupted payloads,
+// and symbols encoded under a mismatched seed. The decoder must never panic;
+// when every symbol it accepted was well-formed and it reports Decoded, the
+// recovered bytes must equal the original block; corrupt inputs must either
+// be rejected (ErrBadSymbol/ErrShardSize), surface as ErrInconsistent, or
+// leave the block undecoded — never silently mis-decode a clean stream.
+func FuzzFountainDecode(f *testing.F) {
+	f.Add(uint64(1), uint8(8), []byte("0123456789abcdef"), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(uint64(42), uint8(3), []byte("xyz"), []byte{9, 0, 0, 128, 2, 2, 2, 255, 1})
+	f.Add(uint64(7), uint8(1), []byte{0xff}, []byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed uint64, kRaw uint8, msg []byte, ops []byte) {
+		k := int(kRaw%MaxFountainData) + 1
+		size := len(msg)/k + 1
+		src := make([][]byte, k)
+		for i := range src {
+			src[i] = make([]byte, size)
+			lo := i * size
+			if lo < len(msg) {
+				hi := lo + size
+				if hi > len(msg) {
+					hi = len(msg)
+				}
+				copy(src[i], msg[lo:hi])
+			}
+		}
+		fc, err := NewFountain(k, 2)
+		if err != nil {
+			t.Fatalf("NewFountain(%d, 2): %v", k, err)
+		}
+		dec := fc.Decoder(seed, k, size)
+		rank := fc.Decoder(seed, k, 0)
+		buf := make([]byte, size)
+		clean := true // no corrupt symbol accepted so far
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], ops[i+1]
+			id := int(arg)
+			switch op % 8 {
+			case 0, 1, 2, 3: // well-formed symbol
+				if err := fc.EncodeSymbol(seed, k, id, src, buf); err != nil {
+					t.Fatalf("encode id=%d: %v", id, err)
+				}
+				if err := dec.Add(id, buf); err != nil && err != ErrInconsistent {
+					t.Fatalf("clean add id=%d: %v", id, err)
+				}
+			case 4: // corrupted payload
+				if err := fc.EncodeSymbol(seed, k, id, src, buf); err != nil {
+					t.Fatal(err)
+				}
+				buf[int(op)%size] ^= 0x5a
+				dup := dec.HasSymbol(id)
+				if err := dec.Add(id, buf); err == nil && !dup {
+					clean = false // corruption absorbed undetected so far
+				}
+			case 5: // symbol from a mismatched seed
+				if err := fc.EncodeSymbol(seed^0xdeadbeef, k, id, src, buf); err != nil {
+					t.Fatal(err)
+				}
+				dup := dec.HasSymbol(id)
+				if err := dec.Add(id, buf); err == nil && !dup && id >= k {
+					// Source ids are seed-independent; repair ids are not.
+					clean = false
+				}
+			case 6: // out-of-range id
+				if err := dec.Add(-1-id, nil); err != ErrBadSymbol {
+					t.Fatalf("negative id accepted: %v", err)
+				}
+				if err := dec.Add(maxFountainSymbols+id, nil); err != ErrBadSymbol {
+					t.Fatalf("huge id accepted: %v", err)
+				}
+				continue
+			case 7: // wrong shard size
+				if !dec.HasSymbol(id) {
+					if err := dec.Add(id, buf[:size-1]); err != ErrShardSize {
+						t.Fatalf("short payload: %v", err)
+					}
+				}
+				continue
+			}
+			// Mirror into the rank-only decoder; decodability must agree
+			// with the payload decoder on clean streams.
+			if err := rank.Add(id, nil); err != nil {
+				t.Fatalf("rank-only add id=%d: %v", id, err)
+			}
+			if clean && dec.Decoded() != rank.Decoded() {
+				t.Fatalf("rank-only decodability diverged at id=%d", id)
+			}
+		}
+		if dec.Decoded() {
+			got, err := dec.Source()
+			switch {
+			case err == ErrInconsistent:
+				// Detected corruption: clean failure.
+			case err != nil:
+				t.Fatalf("Source: %v", err)
+			case clean:
+				for i := range src {
+					if !bytes.Equal(got[i], src[i]) {
+						t.Fatalf("clean stream mis-decoded source %d", i)
+					}
+				}
+			}
+		} else if _, err := dec.Source(); err == nil {
+			t.Fatal("Source succeeded while undecoded")
+		}
+	})
+}

@@ -42,7 +42,9 @@ type GilbertElliott struct {
 // Validate reports parameter errors.
 func (g *GilbertElliott) Validate() error {
 	for _, p := range []float64{g.PGoodToBad, g.PBadToGood, g.LossGood, g.LossBad} {
-		if p < 0 || p > 1 {
+		// Negated range check so NaN (every comparison false) is rejected
+		// too, not silently accepted.
+		if !(p >= 0 && p <= 1) {
 			return fmt.Errorf("failure: probability %v out of [0,1]", p)
 		}
 	}
@@ -72,11 +74,13 @@ func (g *GilbertElliott) Drop(_ eventq.Time, _ *netsim.Packet) bool {
 }
 
 // StationaryLossRate returns the long-run per-packet loss probability of
-// the model.
+// the model. The absorbing corners fall out of the formula: PBadToGood == 0
+// with PGoodToBad > 0 absorbs into Bad (pBad = 1, returns LossBad), and
+// both transitions zero means the chain never leaves its initial (Good)
+// state, so the Good loss rate is returned.
 func (g *GilbertElliott) StationaryLossRate() float64 {
 	denom := g.PGoodToBad + g.PBadToGood
 	if denom == 0 {
-		// Chain never leaves its initial (Good) state.
 		return g.LossGood
 	}
 	pBad := g.PGoodToBad / denom
@@ -109,21 +113,42 @@ func NewTable1Loss(setup Table1Setup, r *rng.Rand) *GilbertElliott {
 		panic(fmt.Sprintf("failure: unknown Table 1 setup %d", setup))
 	}
 	// Bad sojourn geometric with mean 1/pBG ≈ 3.3 packets; Bad-state loss
-	// probability 0.5 gives visible burstiness. Solve PGoodToBad so that
-	// pBad·LossBad = target.
-	const (
-		pBadToGood = 0.3
-		lossBad    = 0.5
-	)
+	// probability 0.5 gives visible burstiness.
+	g, err := NewCalibratedLoss(target, 0.3, 0.5, r)
+	if err != nil {
+		panic(err) // both Table 1 targets are far below lossBad; cannot fail
+	}
+	return g
+}
+
+// NewCalibratedLoss solves a Gilbert-Elliott process for a target
+// stationary loss rate given the Bad-state dynamics: PGoodToBad is chosen
+// so that the stationary Bad-state probability times lossBad equals target
+// (LossGood is 0). Unlike the raw struct, it rejects degenerate inputs
+// instead of solving outside [0,1]: NaNs, targets at or above lossBad
+// (pBad ≥ 1 would need a Bad-absorbed chain, pGB → ±Inf), and solutions
+// whose PGoodToBad exceeds 1.
+func NewCalibratedLoss(target, pBadToGood, lossBad float64, r *rng.Rand) (*GilbertElliott, error) {
+	if !(target >= 0) || !(lossBad > 0) {
+		return nil, fmt.Errorf("failure: bad calibration target %v / lossBad %v", target, lossBad)
+	}
+	if target >= lossBad {
+		return nil, fmt.Errorf("failure: target %v unreachable with Bad-state loss %v (needs pBad >= 1)",
+			target, lossBad)
+	}
 	// pBad = target/lossBad; pBad = pGB/(pGB+pBG) → pGB = pBG·pBad/(1-pBad).
 	pBad := target / lossBad
 	pGB := pBadToGood * pBad / (1 - pBad)
-	return &GilbertElliott{
+	g := &GilbertElliott{
 		PGoodToBad: pGB,
 		PBadToGood: pBadToGood,
 		LossBad:    lossBad,
 		Rand:       r,
 	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 // ScheduleLinkDown fails the link at time at and (if recoverAfter > 0)

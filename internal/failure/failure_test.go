@@ -116,6 +116,85 @@ func TestTable1Calibration(t *testing.T) {
 	}
 }
 
+// TestGilbertElliottDegenerateParams is the degenerate-parameter table from
+// the EC block-path sweep: NaNs must be rejected (the pre-fix range check
+// `p < 0 || p > 1` is false for NaN on both sides, silently accepting it),
+// absorbing chains must return their absorbing state's loss rate, and the
+// calibration solver must error instead of solving outside [0,1].
+func TestGilbertElliottDegenerateParams(t *testing.T) {
+	nan := math.NaN()
+	validate := []struct {
+		name string
+		g    GilbertElliott
+		ok   bool
+	}{
+		{"all-zero", GilbertElliott{}, true},
+		{"nan-pgb", GilbertElliott{PGoodToBad: nan}, false},
+		{"nan-pbg", GilbertElliott{PBadToGood: nan}, false},
+		{"nan-lossgood", GilbertElliott{LossGood: nan}, false},
+		{"nan-lossbad", GilbertElliott{LossBad: nan}, false},
+		{"negative", GilbertElliott{PBadToGood: -0.1}, false},
+		{"above-one", GilbertElliott{LossBad: 1.01}, false},
+		{"boundary", GilbertElliott{PGoodToBad: 1, PBadToGood: 1, LossBad: 1}, true},
+	}
+	for _, c := range validate {
+		c.g.Rand = rng.New(1)
+		if err := c.g.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate %s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+
+	stationary := []struct {
+		name string
+		g    GilbertElliott
+		want float64
+	}{
+		// Both transitions zero: stuck in the initial Good state.
+		{"frozen", GilbertElliott{LossGood: 0.25, LossBad: 0.9}, 0.25},
+		// Bad is absorbing: long-run rate is the Bad loss rate.
+		{"absorbing-bad", GilbertElliott{PGoodToBad: 0.2, LossGood: 0.1, LossBad: 0.9}, 0.9},
+		// Good is absorbing (never leaves Good anyway).
+		{"absorbing-good", GilbertElliott{PBadToGood: 0.2, LossGood: 0.1, LossBad: 0.9}, 0.1},
+	}
+	for _, c := range stationary {
+		if got := c.g.StationaryLossRate(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("StationaryLossRate %s = %v, want %v", c.name, got, c.want)
+		}
+	}
+
+	calib := []struct {
+		name               string
+		target, pbg, lossB float64
+		ok                 bool
+	}{
+		{"table1-setup1", 5.01e-5, 0.3, 0.5, true},
+		{"zero-target", 0, 0.3, 0.5, true},
+		{"nan-target", nan, 0.3, 0.5, false},
+		{"nan-lossbad", 1e-4, 0.3, nan, false},
+		{"target-at-lossbad", 0.5, 0.3, 0.5, false},
+		{"target-above-lossbad", 0.9, 0.3, 0.5, false}, // pre-fix: pGB < 0
+		{"zero-lossbad", 1e-4, 0.3, 0, false},
+		{"pbg-above-one", 1e-4, 1.5, 0.5, false},
+		{"nan-pbg", 1e-4, nan, 0.5, false},
+	}
+	for _, c := range calib {
+		g, err := NewCalibratedLoss(c.target, c.pbg, c.lossB, rng.New(2))
+		if (err == nil) != c.ok {
+			t.Errorf("NewCalibratedLoss %s: err=%v, want ok=%v", c.name, err, c.ok)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Errorf("NewCalibratedLoss %s returned invalid model: %v", c.name, verr)
+		}
+		if got := g.StationaryLossRate(); math.Abs(got-c.target) > 1e-12 {
+			t.Errorf("NewCalibratedLoss %s stationary %v, want %v", c.name, got, c.target)
+		}
+	}
+}
+
 func TestTable1UnknownSetupPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

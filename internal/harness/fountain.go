@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"uno/internal/core"
+	"uno/internal/eventq"
+	"uno/internal/failure"
+	"uno/internal/rng"
+	"uno/internal/stats"
+	"uno/internal/topo"
+	"uno/internal/transport"
+)
+
+// The fountain experiment ("-exp fountain") compares the two UnoRC coding
+// schemes — fixed-rate RS(8,2) and the rateless LT fountain (DESIGN.md
+// §3.9) — on the same correlated-loss WAN: single inter-DC flows under the
+// Gilbert-Elliott model calibrated to both Table 1 measurement setups, with
+// the loss rate amplified (as in fig13b) so scaled-down runs still observe
+// bursts. Metrics are flow completion time, goodput, and wire overhead
+// (transmissions beyond the data packets the message needs).
+
+// fountainSchemes are the compared coding schemes, RS first (the baseline).
+func fountainSchemes() []transport.ECScheme {
+	return []transport.ECScheme{transport.SchemeRS, transport.SchemeFountain}
+}
+
+// fountainSetups are the Table 1 loss calibrations swept.
+func fountainSetups() []failure.Table1Setup {
+	return []failure.Table1Setup{failure.Setup1, failure.Setup2}
+}
+
+func setupName(s failure.Table1Setup) string {
+	if s == failure.Setup1 {
+		return "setup1"
+	}
+	return "setup2"
+}
+
+// FountainCellResult records one (scheme, setup, rerun) simulation.
+type FountainCellResult struct {
+	Scheme string `json:"scheme"`
+	Setup  string `json:"setup"`
+	Run    int    `json:"run"`
+	// FCTMs is the flow completion time in milliseconds (-1 if the flow
+	// missed the horizon).
+	FCTMs float64 `json:"fct_ms"`
+	// GoodputMbps is payload bits delivered per second of FCT.
+	GoodputMbps float64 `json:"goodput_mbps"`
+	// OverheadPct is the wire overhead: transmissions (data + parity +
+	// retransmissions + minted repair) over the data-packet count the
+	// message needs, minus one, in percent.
+	OverheadPct float64 `json:"overhead_pct"`
+	PktsSent    uint64  `json:"pkts_sent"`
+	Retrans     uint64  `json:"retrans"`
+	Nacks       uint64  `json:"nacks"`
+	Completed   bool    `json:"completed"`
+	DigestHex   string  `json:"digest"`
+
+	Digest uint64 `json:"-"`
+}
+
+// FountainCell runs one cell: a single inter-DC flow of flowSize bytes
+// under the given coding scheme and Table 1 calibration (100× amplified),
+// simulated to the horizon. The scheme is forced per-flow, so the result is
+// independent of the process-wide -ec / UNO_EC default.
+func FountainCell(seed uint64, scheme transport.ECScheme, setup failure.Table1Setup,
+	run int, flowSize int64, horizon eventq.Time) FountainCellResult {
+	topoCfg := topo.DefaultConfig()
+	stack := StackUnoMod("uno-"+transport.ECSchemeName(scheme),
+		func(sys *core.System) { sys.ECScheme = scheme })
+	sim := MustNewSim(seed+uint64(run)*211, topoCfg, stack)
+	lr := rng.New(seed + uint64(run)*977 + uint64(setup)*131)
+	for _, il := range sim.Topo.InterLinkFor(0, 1) {
+		ge := failure.NewTable1Loss(setup, lr.Split())
+		ge.PGoodToBad *= 100 // amplified rate, measured correlation shape
+		il.Link.SetLoss(ge)
+	}
+	conns := sim.Schedule(interPairSpecs(topoCfg, 1, flowSize))
+	sim.Run(horizon)
+
+	res := FountainCellResult{
+		Scheme: transport.ECSchemeName(scheme),
+		Setup:  setupName(setup),
+		Run:    run,
+		FCTMs:  -1,
+		Digest: sim.Digest(),
+	}
+	res.DigestHex = fmt.Sprintf("%016x", res.Digest)
+	st := conns[0].Stats()
+	res.PktsSent = st.PktsSent
+	res.Retrans = st.PktsRetrans
+	res.Nacks = st.NacksReceived
+	nData := (flowSize + int64(sim.MTU) - 1) / int64(sim.MTU)
+	res.OverheadPct = (float64(st.PktsSent)/float64(nData) - 1) * 100
+	if conns[0].Completed() {
+		res.Completed = true
+		fct := conns[0].FCT()
+		res.FCTMs = fct.Seconds() * 1e3
+		res.GoodputMbps = float64(flowSize) * 8 / fct.Seconds() / 1e6
+	}
+	return res
+}
+
+// Fountain is the "-exp fountain" experiment: the full (scheme × setup ×
+// rerun) grid, reported per scheme and setup with a JSON emit of every
+// cell. Jobs are independent and merged in job order, so the report —
+// including its digest — is byte-identical at any Config.Parallel.
+func Fountain(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	r := &Report{ID: "fountain", Title: "Rateless UnoRC (LT fountain) vs RS(8,2) under correlated WAN loss"}
+	runs := cfg.scaled(5)
+	flowSize := int64(8) << 20
+	horizon := 300 * eventq.Millisecond
+
+	schemes, setups := fountainSchemes(), fountainSetups()
+	type key struct{ scheme, setup int }
+	var jobs []key
+	for si := range schemes {
+		for pi := range setups {
+			for run := 0; run < runs; run++ {
+				jobs = append(jobs, key{si, pi})
+			}
+		}
+	}
+	cells := RunParallel(cfg.Parallel, len(jobs), func(job int) FountainCellResult {
+		k := jobs[job]
+		return FountainCell(cfg.Seed, schemes[k.scheme], setups[k.setup],
+			job%runs, flowSize, horizon)
+	})
+	for _, c := range cells {
+		r.FoldDigest(c.Digest)
+	}
+
+	tbl := r.NewTable(fmt.Sprintf("single %s inter-DC flow, %d reruns", fmtBytes(flowSize), runs),
+		"scheme", "loss model", "mean FCT (ms)", "p99 FCT", "goodput (Mb/s)", "overhead %", "nacks", "incomplete")
+	for si, scheme := range schemes {
+		for pi, setup := range setups {
+			var fcts, gps, ovh stats.Sample
+			var nacks uint64
+			incomplete := 0
+			for run := 0; run < runs; run++ {
+				c := cells[(si*len(setups)+pi)*runs+run]
+				ovh.Add(c.OverheadPct)
+				nacks += c.Nacks
+				if !c.Completed {
+					incomplete++
+					continue
+				}
+				fcts.Add(c.FCTMs)
+				gps.Add(c.GoodputMbps)
+			}
+			tbl.AddRow(transport.ECSchemeName(scheme), setupName(setup),
+				fcts.Mean(), fcts.P99(), gps.Mean(), ovh.Mean(), nacks, incomplete)
+		}
+	}
+
+	js, err := json.MarshalIndent(struct {
+		Experiment string               `json:"experiment"`
+		Seed       uint64               `json:"seed"`
+		Scale      float64              `json:"scale"`
+		FlowBytes  int64                `json:"flow_bytes"`
+		HorizonMs  float64              `json:"horizon_ms"`
+		Cells      []FountainCellResult `json:"cells"`
+	}{"fountain", cfg.Seed, cfg.Scale, flowSize, horizon.Seconds() * 1e3, cells}, "", "  ")
+	if err != nil {
+		panic(err) // static shape; cannot fail
+	}
+	r.JSON = js
+
+	r.Note("Gilbert-Elliott loss (Table 1 correlation, 100× rate) on all border links; scheme forced per flow (independent of -ec)")
+	r.Note("overhead counts every transmission — parity, retransmissions, and fountain-minted repair — over the message's data-packet count")
+	return r
+}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"uno/internal/eventq"
+	"uno/internal/failure"
+	"uno/internal/transport"
+)
+
+// TestFountainExperimentShape checks the report grid, the JSON emit, and
+// basic metric sanity of the fountain-vs-RS experiment.
+func TestFountainExperimentShape(t *testing.T) {
+	r := Fountain(Config{Scale: 0.2, Seed: 7, Parallel: 0})
+	if len(r.Tables) != 1 {
+		t.Fatalf("report has %d tables, want 1", len(r.Tables))
+	}
+	wantRows := len(fountainSchemes()) * len(fountainSetups())
+	if len(r.Tables[0].Rows) != wantRows {
+		t.Fatalf("table has %d rows, want %d", len(r.Tables[0].Rows), wantRows)
+	}
+	if r.Digest == 0 {
+		t.Fatal("fountain report has no digest")
+	}
+	var emit struct {
+		Experiment string               `json:"experiment"`
+		Cells      []FountainCellResult `json:"cells"`
+	}
+	if err := json.Unmarshal(r.JSON, &emit); err != nil {
+		t.Fatalf("bad JSON emit: %v", err)
+	}
+	if emit.Experiment != "fountain" || len(emit.Cells) != wantRows {
+		t.Fatalf("emit wrong: %q, %d cells (want %d)", emit.Experiment, len(emit.Cells), wantRows)
+	}
+	for _, c := range emit.Cells {
+		if !c.Completed {
+			t.Fatalf("cell %+v incomplete", c)
+		}
+		if c.OverheadPct < 24 { // (8,2) schedules 25% redundancy up front
+			t.Fatalf("cell %+v overhead below the scheduled parity", c)
+		}
+		if c.FCTMs <= 0 || c.GoodputMbps <= 0 {
+			t.Fatalf("cell %+v has bad metrics", c)
+		}
+	}
+}
+
+// TestFountainDeterministicAcrossParallelism: serial and fanned-out runs
+// must render byte-identical reports, digest and JSON emit included.
+func TestFountainDeterministicAcrossParallelism(t *testing.T) {
+	serial := Fountain(Config{Scale: 0.2, Seed: 11, Parallel: 1})
+	fanned := Fountain(Config{Scale: 0.2, Seed: 11, Parallel: 4})
+	if serial.Digest == 0 || serial.Digest != fanned.Digest {
+		t.Fatalf("digest differs across parallelism: serial %016x, parallel %016x",
+			serial.Digest, fanned.Digest)
+	}
+	if serial.String() != fanned.String() {
+		t.Fatalf("rendered report differs across parallelism:\n-- serial --\n%s\n-- parallel --\n%s",
+			serial, fanned)
+	}
+	if !bytes.Equal(serial.JSON, fanned.JSON) {
+		t.Fatal("JSON emit differs across parallelism")
+	}
+}
+
+// TestFountainCellIndependentOfProcessDefault: the cell forces its scheme
+// per flow, so flipping the process-wide default must not move its digest.
+func TestFountainCellIndependentOfProcessDefault(t *testing.T) {
+	defer transport.SetECSchemeDefault(transport.SchemeAuto)
+	run := func() FountainCellResult {
+		return FountainCell(42, transport.SchemeRS, failure.Setup1, 0, 1<<20, 30*eventq.Millisecond)
+	}
+	transport.SetECSchemeDefault(transport.SchemeRS)
+	a := run()
+	transport.SetECSchemeDefault(transport.SchemeFountain)
+	b := run()
+	if a.Digest != b.Digest {
+		t.Fatalf("cell digest follows the process default: %016x vs %016x", a.Digest, b.Digest)
+	}
+}

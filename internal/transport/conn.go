@@ -2,7 +2,9 @@ package transport
 
 import (
 	"fmt"
+	"math"
 
+	"uno/internal/ec"
 	"uno/internal/eventq"
 	"uno/internal/netsim"
 	"uno/internal/rng"
@@ -78,6 +80,20 @@ type Conn struct {
 	blockAcked     []int16 // per-block distinct acked packets
 	blockSatisfied []bool
 
+	// maxSentEnd is one past the highest schedule index ever transmitted.
+	// For fixed schedules it always equals nextNew whenever it matters; the
+	// fountain scheme appends repair entries past nextNew and sends them
+	// from the retransmission queue, so loss sweeps scan to this bound.
+	maxSentEnd int64
+
+	// Rateless (fountain) sender state; nil/empty under SchemeRS.
+	fountain  *ec.Fountain
+	extraSeqs [][]int64 // per-block appended repair schedule indices
+	nextSymID []int16   // per-block next fresh repair symbol id
+	// lossEWMA tracks the observed loss fraction from NACK and RTO signals
+	// and sizes proactive repair beyond the scheduled Parity (§DESIGN 3.9).
+	lossEWMA float64
+
 	stats     ConnStats
 	running   bool // both policies initialized; transmission may begin
 	completed bool
@@ -103,6 +119,14 @@ func newConn(ep *Endpoint, flow *Flow, params Params, cc CongestionControl, lb P
 	if len(blocks) > 0 {
 		c.blockAcked = make([]int16, len(blocks))
 		c.blockSatisfied = make([]bool, len(blocks))
+	}
+	if params.EC.Fountain() {
+		c.fountain = ec.MustNewFountain(params.EC.Data, params.EC.Parity)
+		c.extraSeqs = make([][]int64, len(blocks))
+		c.nextSymID = make([]int16, len(blocks))
+		for b, blk := range blocks {
+			c.nextSymID[b] = blk.count // ids 0..count-1 are scheduled
+		}
 	}
 	if c.cwnd <= 0 {
 		c.cwnd = float64(params.MTU + HeaderSize)
@@ -212,13 +236,28 @@ func (c *Conn) nextToSend() int64 {
 	}
 	for c.nextNew < int64(len(c.sched)) {
 		seq := c.nextNew
-		if c.state[seq].dontCare {
+		// Skip don't-care entries, plus entries the fresh-packet cursor
+		// does not own: fountain-appended repair symbols are dispatched
+		// through the retransmission queue (lossPending until sent, sent
+		// afterwards), so the cursor steps over them. Fixed schedules
+		// never mark an entry past nextNew sent or lossPending, so this
+		// is behavior-identical under SchemeRS.
+		if st := &c.state[seq]; st.dontCare || st.sent || st.lossPending {
 			c.nextNew++
 			continue
 		}
 		return seq
 	}
 	return -1
+}
+
+// lossScanEnd bounds the loss-detection sweeps: every schedule entry that
+// could be in flight lies below max(nextNew, maxSentEnd).
+func (c *Conn) lossScanEnd() int64 {
+	if c.maxSentEnd > c.nextNew {
+		return c.maxSentEnd
+	}
+	return c.nextNew
 }
 
 // trySend transmits as many packets as the window and pacer allow.
@@ -301,8 +340,99 @@ func (c *Conn) transmit(seq int64) {
 	if seq == c.nextNew {
 		c.nextNew++
 	}
+	if seq >= c.maxSentEnd {
+		c.maxSentEnd = seq + 1
+	}
 	c.flow.Src.Send(p)
+	// p.IsRtx captured st.sent before this transmission, so !p.IsRtx means
+	// the entry just went out for the first time. appendRepair may grow
+	// c.sched/c.state; d and st are not touched past this point.
+	if c.fountain != nil && !p.IsRtx && d.parity && d.block >= 0 {
+		c.maybeProactiveRepair(d.block, seq)
+	}
 	c.armRTO()
+}
+
+// maybeProactiveRepair appends adaptive proactive repair symbols right
+// after a block's last scheduled repair symbol goes out for the first time:
+// if the loss EWMA says the scheduled Parity likely won't survive, extra
+// fresh symbols are minted now instead of waiting for the NACK round trip.
+func (c *Conn) maybeProactiveRepair(b int32, seq int64) {
+	blk := c.blocks[b]
+	if seq != blk.start+int64(blk.count)-1 || len(c.extraSeqs[b]) > 0 || c.blockSatisfied[b] {
+		return
+	}
+	if extra := c.adaptiveRepair(blk); extra > 0 {
+		c.appendRepair(b, extra)
+	}
+}
+
+// adaptiveRepair sizes extra proactive redundancy for one block: with loss
+// fraction p, n transmitted symbols survive as n(1-p) expected deliveries,
+// so covering dataCount needs ceil(dataCount/(1-p)) symbols. The excess
+// over the already-scheduled count is capped at one extra dataCount worth.
+func (c *Conn) adaptiveRepair(blk blockDesc) int {
+	p := c.lossEWMA
+	if p <= 0 {
+		return 0
+	}
+	if p > 0.5 {
+		p = 0.5
+	}
+	n := int(math.Ceil(float64(blk.dataCount) / (1 - p)))
+	extra := n - int(blk.count)
+	if extra < 0 {
+		extra = 0
+	}
+	if max := int(blk.dataCount); extra > max {
+		extra = max
+	}
+	return extra
+}
+
+// noteLossSample folds one observed loss fraction into the EWMA driving
+// adaptive redundancy (gain 1/8, like the RTT estimator).
+func (c *Conn) noteLossSample(lost, total int) {
+	if total <= 0 {
+		return
+	}
+	s := float64(lost) / float64(total)
+	if s > 1 {
+		s = 1
+	}
+	c.lossEWMA = c.lossEWMA*(7.0/8) + s/8
+}
+
+// appendRepair mints n fresh fountain repair symbols for block b: each gets
+// a new schedule entry past the static schedule and a new symbol id, is
+// queued on the retransmission queue for priority dispatch, and inherits
+// the block's repair wire size. No-op once the BlockIdx id space runs out.
+func (c *Conn) appendRepair(b int32, n int) {
+	blk := c.blocks[b]
+	// Repair symbols are sized like the block's largest payload — the
+	// block's last scheduled entry if it is a parity packet, else the
+	// largest data packet (Parity == 0 schedules no repair entries).
+	wire := 0
+	for seq := blk.start; seq < blk.start+int64(blk.count); seq++ {
+		if w := c.sched[seq].wire; w > wire {
+			wire = w
+		}
+	}
+	limit := int16(c.fountain.MaxSymbols(int(blk.dataCount)) - 1)
+	for i := 0; i < n; i++ {
+		id := c.nextSymID[b]
+		if id >= limit {
+			return
+		}
+		c.nextSymID[b] = id + 1
+		seq := int64(len(c.sched))
+		c.sched = append(c.sched, pktDesc{
+			payload: 0, wire: wire, block: b, blockIdx: id, parity: true,
+		})
+		c.state = append(c.state, pktState{lossPending: true})
+		c.extraSeqs[b] = append(c.extraSeqs[b], seq)
+		c.rtxQ = append(c.rtxQ, seq)
+	}
 }
 
 // ---- RTO ----
@@ -368,7 +498,8 @@ func (c *Conn) onRTO() {
 	// Oldest outstanding packet, scanned only on (rare) timeouts.
 	oldest := int64(-1)
 	var oldestAt eventq.Time
-	for seq := c.lowestUnacked; seq < c.nextNew; seq++ {
+	scanEnd := c.lossScanEnd()
+	for seq := c.lowestUnacked; seq < scanEnd; seq++ {
 		st := &c.state[seq]
 		if st.inFlight && !st.acked && !st.dontCare {
 			if oldest < 0 || st.sentAt < oldestAt {
@@ -382,17 +513,23 @@ func (c *Conn) onRTO() {
 		// single oldest packet: a burst dropped wholesale would otherwise
 		// be reclaimed one packet per timeout.
 		cutoff := c.Now() - c.rto()
-		for seq := c.lowestUnacked; seq < c.nextNew; seq++ {
+		outstanding, declared := 0, 0
+		for seq := c.lowestUnacked; seq < scanEnd; seq++ {
 			st := &c.state[seq]
 			if st.acked || st.dontCare || st.lossPending || !st.inFlight {
 				continue
 			}
+			outstanding++
 			if st.sentAt <= cutoff {
 				st.inFlight = false
 				st.lossPending = true
 				c.inFlight -= int64(c.wireSize(seq))
 				c.rtxQ = append(c.rtxQ, seq)
+				declared++
 			}
+		}
+		if c.fountain != nil && declared > 0 {
+			c.noteLossSample(declared, outstanding)
 		}
 	case c.nextNew >= int64(len(c.sched)) && len(c.rtxQ) == 0:
 		// Everything sent and acknowledged but no FlowDone: probe.
@@ -425,6 +562,16 @@ func (c *Conn) handleAck(p *netsim.Packet) {
 
 	seq := p.AckSeq
 	if seq < 0 || seq >= int64(len(c.state)) {
+		// Under the rateless scheme the receiver accepts dynamic repair
+		// symbols past its static schedule and echoes whatever sequence
+		// number the header carried, so a corrupt or hostile symbol can
+		// produce an ACK for a seq this sender never minted. There is no
+		// state to release — drop it. For MDS schemes the receiver
+		// bounds-checks seq against the static schedule before echoing,
+		// so an out-of-range ACK can only be an internal bug.
+		if c.fountain != nil {
+			return
+		}
 		panic(fmt.Sprintf("transport: flow %d ack for bad seq %d", c.flow.ID, seq))
 	}
 	st := &c.state[seq]
@@ -525,14 +672,28 @@ func (c *Conn) updateRTT(rtt eventq.Time) {
 }
 
 // satisfyBlock marks block b decodable: unacked packets become don't-care
-// and leave the in-flight accounting and retransmission queues.
+// and leave the in-flight accounting and retransmission queues. Entries
+// already queued for retransmission stay in rtxQ but are skipped by
+// nextToSend once dontCare; in-flight bytes are released exactly once here
+// (lossPending entries were already released when they were declared lost).
 func (c *Conn) satisfyBlock(b int32) {
-	if len(c.blocks) == 0 || c.blockSatisfied[b] {
+	if b < 0 || int(b) >= len(c.blocks) || c.blockSatisfied[b] {
 		return
 	}
 	c.blockSatisfied[b] = true
 	blk := c.blocks[b]
-	for seq := blk.start; seq < blk.start+int64(blk.count); seq++ {
+	c.releaseDontCare(blk.start, blk.start+int64(blk.count))
+	if c.extraSeqs != nil {
+		for _, seq := range c.extraSeqs[b] {
+			c.releaseDontCare(seq, seq+1)
+		}
+	}
+}
+
+// releaseDontCare marks the unfinished entries of [lo, hi) don't-care and
+// drops any still-in-flight ones from the window accounting.
+func (c *Conn) releaseDontCare(lo, hi int64) {
+	for seq := lo; seq < hi; seq++ {
 		st := &c.state[seq]
 		if st.acked || st.dontCare {
 			continue
@@ -610,7 +771,7 @@ func (c *Conn) rackSweep() {
 	if win <= 0 {
 		win = c.params.BaseRTT / 4
 	}
-	for seq := c.lowestUnacked; seq < c.nextNew; seq++ {
+	for seq := c.lowestUnacked; seq < c.lossScanEnd(); seq++ {
 		st := &c.state[seq]
 		if st.acked || st.dontCare || st.lossPending {
 			continue
@@ -638,6 +799,28 @@ func (c *Conn) handleNack(p *netsim.Packet) {
 		return
 	}
 	blk := c.blocks[b]
+	if c.fountain != nil {
+		// Rateless recovery: never retransmit the exact missing packets —
+		// mint fresh repair symbols instead. Any innovative symbol
+		// substitutes for any loss, so len(Missing) (the receiver's rank
+		// deficit) fresh symbols suffice if they all arrive; the loss EWMA
+		// pads that for the measured loss rate.
+		need := len(p.Missing)
+		if need > 0 {
+			c.noteLossSample(need, int(blk.count))
+			lr := c.lossEWMA
+			if lr > 0.5 {
+				lr = 0.5
+			}
+			pad := int(math.Ceil(float64(need) * lr / (1 - lr)))
+			c.appendRepair(b, need+pad)
+		}
+		c.cc.OnNack(c)
+		c.lb.OnNack(c)
+		c.armRTO()
+		c.trySend()
+		return
+	}
 	for _, idx := range p.Missing {
 		seq := blk.start + int64(idx)
 		if idx < 0 || seq >= blk.start+int64(blk.count) {

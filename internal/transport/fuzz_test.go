@@ -36,6 +36,12 @@ func FuzzReceiverPacket(f *testing.F) {
 		flow := &Flow{ID: 1, Src: d.a, Dst: d.b, Size: 1 << 18, Start: 0}
 		params := d.baseParams()
 		params.EC = ECConfig{Data: 8, Parity: 2, BlockTimeout: 50 * eventq.Microsecond}
+		// The first input byte picks the coding scheme, so the corpus also
+		// drives the fountain receiver's dynamic-arrival path (seq past the
+		// static schedule, block identity taken from the hostile header).
+		if len(data) > 0 && data[0]&0x04 != 0 {
+			params.EC.Scheme = SchemeFountain
+		}
 		conn := MustStart(d.epA, d.epB, flow, params,
 			&FixedWindow{Window: 16 * 4160}, &FixedEntropy{}, nil)
 
@@ -60,6 +66,9 @@ func FuzzReceiverPacket(f *testing.F) {
 			}
 			injectAt, injCtl := at, ctl
 			injSeq := seq
+			// Hostile block identity (signed, so negatives and huge ids are
+			// both reachable) for the EC arrival paths.
+			injBlock, injIdx := int32(int8(next())), int16(int8(next()))
 			d.net.Sched.Schedule(injectAt, func() {
 				p := d.net.AllocPacket()
 				switch injCtl & 0x03 {
@@ -80,6 +89,9 @@ func FuzzReceiverPacket(f *testing.F) {
 				p.IsRtx = injCtl&0x10 != 0
 				p.ECNMarked = injCtl&0x20 != 0
 				p.Subflow = int8(injCtl >> 4)
+				p.Block = injBlock
+				p.BlockIdx = injIdx
+				p.IsParity = injCtl&0x04 != 0
 				p.AckBlock = -1
 				p.SentAt = d.net.Now() - eventq.Time(injCtl)*eventq.Microsecond
 				if p.SentAt < 0 {

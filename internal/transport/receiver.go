@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"uno/internal/ec"
 	"uno/internal/eventq"
 	"uno/internal/netsim"
 )
@@ -35,6 +36,14 @@ type Receiver struct {
 	nData    int64    // total data packets in the schedule
 	blocks   []rcvBlock
 
+	// Rateless (fountain) receiver state; nil under SchemeRS. Under the
+	// fountain scheme a block completes when its rank decoder spans the
+	// source space, and repair symbols appended past the static schedule
+	// (seq >= len(sched)) are accepted using their header's Block/BlockIdx.
+	fountain *ec.Fountain
+	decs     []*ec.FountainDecoder
+	gotExtra map[int64]struct{} // arrivals beyond the static schedule
+
 	complete   bool
 	completeAt eventq.Time
 
@@ -68,6 +77,16 @@ func newReceiver(ep *Endpoint, flow *Flow, params Params) *Receiver {
 			r.blocks[i] = rcvBlock{dataCount: b.dataCount, count: b.count}
 		}
 	}
+	if params.EC.Fountain() {
+		r.fountain = ec.MustNewFountain(params.EC.Data, params.EC.Parity)
+		r.decs = make([]*ec.FountainDecoder, len(r.blocks))
+		for b := range r.decs {
+			// Both endpoints derive the block seed from the flow id, so
+			// symbol neighbor sets need no handshake.
+			r.decs[b] = r.fountain.Decoder(
+				ec.BlockSeed(uint64(flow.ID), uint64(b)), int(r.blocks[b].dataCount), 0)
+		}
+	}
 	return r
 }
 
@@ -85,13 +104,30 @@ func (r *Receiver) set(seq int64) {
 	r.got[seq>>6] |= 1 << (uint(seq) & 63)
 }
 
+// maxExtraArrivals bounds the dynamic-arrival set so adversarial sequence
+// numbers cannot grow receiver memory without bound.
+const maxExtraArrivals = 1 << 16
+
 // handleData processes an arriving data packet and responds with an ACK.
 func (r *Receiver) handleData(p *netsim.Packet) {
 	seq := p.Seq
-	if seq < 0 || seq >= int64(len(r.sched)) {
+	if seq < 0 {
 		return
 	}
-	d := &r.sched[seq]
+	block, blockIdx, parity := int32(-1), int16(-1), false
+	switch {
+	case seq < int64(len(r.sched)):
+		d := &r.sched[seq]
+		block, blockIdx, parity = d.block, d.blockIdx, d.parity
+	case r.fountain != nil && p.IsParity && p.Block >= 0 &&
+		int(p.Block) < len(r.blocks) && p.BlockIdx >= 0:
+		// A fountain repair symbol appended past the static schedule: the
+		// header's own block/id fields identify it. The bounds checks
+		// matter — this path is reachable with adversarial input.
+		block, blockIdx, parity = p.Block, p.BlockIdx, true
+	default:
+		return
+	}
 
 	if p.Trimmed {
 		// The payload was cut at an overflowing queue: echo an immediate
@@ -115,14 +151,26 @@ func (r *Receiver) handleData(p *netsim.Packet) {
 		return
 	}
 
-	if !r.has(seq) {
-		r.set(seq)
+	fresh := false
+	if seq < int64(len(r.sched)) {
+		if !r.has(seq) {
+			r.set(seq)
+			fresh = true
+		}
+	} else if _, dup := r.gotExtra[seq]; !dup && len(r.gotExtra) < maxExtraArrivals {
+		if r.gotExtra == nil {
+			r.gotExtra = make(map[int64]struct{})
+		}
+		r.gotExtra[seq] = struct{}{}
+		fresh = true
+	}
+	if fresh {
 		r.gotCount++
-		if !d.parity {
+		if !parity {
 			r.dataGot++
 		}
-		if d.block >= 0 {
-			r.onBlockArrival(d.block)
+		if block >= 0 {
+			r.onBlockArrival(block, blockIdx)
 		}
 		r.checkComplete()
 	} else {
@@ -130,8 +178,8 @@ func (r *Receiver) handleData(p *netsim.Packet) {
 	}
 
 	blockOK := false
-	if d.block >= 0 {
-		blockOK = r.blocks[d.block].complete
+	if block >= 0 {
+		blockOK = r.blocks[block].complete
 	}
 	ack := r.ep.host.Network().AllocPacket()
 	ack.Type = netsim.Ack
@@ -144,25 +192,35 @@ func (r *Receiver) handleData(p *netsim.Packet) {
 	ack.EchoSentAt = p.SentAt
 	ack.EchoMarked = p.ECNMarked
 	ack.EchoRtx = p.IsRtx
-	ack.AckBlock = d.block
+	ack.AckBlock = block
 	ack.AckBlockOK = blockOK
 	ack.FlowDone = r.complete
 	ack.Subflow = p.Subflow
-	if d.block < 0 {
-		ack.AckBlock = -1
-	}
 	r.ep.host.Send(ack)
 }
 
-// onBlockArrival updates block state for a newly received packet.
-func (r *Receiver) onBlockArrival(b int32) {
+// onBlockArrival updates block state for a newly received packet carrying
+// block symbol id.
+func (r *Receiver) onBlockArrival(b int32, id int16) {
 	blk := &r.blocks[b]
 	if blk.complete {
 		return
 	}
 	blk.got++
-	if blk.got >= blk.dataCount {
+	decodable := false
+	if r.fountain != nil {
+		// Rateless: decodable exactly when the received neighbor sets
+		// span the source space.
+		dec := r.decs[b]
+		if dec.Add(int(id), nil) != nil {
+			return // symbol id outside the codec's range (adversarial)
+		}
+		decodable = dec.Decoded()
+	} else {
 		// MDS property: any dataCount distinct packets decode the block.
+		decodable = blk.got >= blk.dataCount
+	}
+	if decodable {
 		blk.complete = true
 		if blk.timer != nil {
 			blk.timer.Cancel()
@@ -201,11 +259,26 @@ func (r *Receiver) onBlockTimeout(b int32) {
 	// Collect missing indices within the block, reusing the pooled
 	// packet's NACK buffer (length zero, capacity from prior frees).
 	nack := r.ep.host.Network().AllocPacket()
-	start := r.blockStart(b)
 	missing := nack.Missing[:0]
-	for i := int16(0); i < blk.count; i++ {
-		if !r.has(start + int64(i)) {
-			missing = append(missing, i)
+	if r.fountain != nil {
+		// Rateless: report the rank deficit as that many not-directly-
+		// received source ids. Source symbols are always innovative, so
+		// the deficit never exceeds the missing-source count, and the
+		// sender reads len(Missing) as "mint this many fresh symbols".
+		dec := r.decs[b]
+		need := dec.Needed()
+		direct := dec.DirectData()
+		for i := int16(0); int(i) < int(blk.dataCount) && len(missing) < need; i++ {
+			if direct&(1<<uint(i)) == 0 {
+				missing = append(missing, i)
+			}
+		}
+	} else {
+		start := r.blockStart(b)
+		for i := int16(0); i < blk.count; i++ {
+			if !r.has(start + int64(i)) {
+				missing = append(missing, i)
+			}
 		}
 	}
 	nack.Type = netsim.Nack
@@ -217,6 +290,13 @@ func (r *Receiver) onBlockTimeout(b int32) {
 	nack.NackBlock = b
 	nack.Missing = missing
 	r.ep.host.Send(nack)
+	if blk.nacks >= maxBlockNacks {
+		// Retry budget spent: the sender's RTO is the backstop from here
+		// on. Re-arming anyway would leave one guaranteed no-op timer
+		// firing pending — a leak the pool-discipline invariant charges
+		// against the run (see TestBlockNackExhaustionNoRearm).
+		return
+	}
 	// Exponential backoff on retries, in case the NACK or the
 	// retransmissions are lost too.
 	backoff := r.params.EC.BlockTimeout << uint(blk.nacks)

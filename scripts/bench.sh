@@ -19,7 +19,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-FILTER="${BENCH_FILTER:-BenchmarkFig|BenchmarkSimulatorThroughput|BenchmarkEventq|BenchmarkWheelInsert|BenchmarkPortEnqueue|BenchmarkIncastStep|BenchmarkDigestFold|BenchmarkLinkDelivery|BenchmarkTournamentCell}"
+FILTER="${BENCH_FILTER:-BenchmarkFig|BenchmarkSimulatorThroughput|BenchmarkEventq|BenchmarkWheelInsert|BenchmarkPortEnqueue|BenchmarkIncastStep|BenchmarkDigestFold|BenchmarkLinkDelivery|BenchmarkTournamentCell|BenchmarkCodecEncode|BenchmarkFountain}"
 BENCHTIME="${BENCH_TIME:-1x}"
 
 OUT="BENCH_$(date +%Y-%m-%d).json"

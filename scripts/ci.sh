@@ -58,7 +58,10 @@ fi
 # The simtest suite also carries the tournament smoke cell
 # (TestGoldenTournamentCell): one coexistence-matrix cell whose committed
 # digest every UNO_BATCH × UNO_DIGEST_DEFER cell must reproduce, pinning
-# the tournament harness itself into this matrix.
+# the tournament harness itself into this matrix. Likewise the rateless
+# cell (TestGoldenFountainCell): one fountain-experiment cell whose
+# committed digest pins the dynamic-schedule transport path (minted
+# repair symbols, NACK-driven recovery) across the same matrix.
 for batch in on off; do
     for defer_mode in on off; do
         echo "== golden digests + invariants, UNO_BATCH=$batch UNO_DIGEST_DEFER=$defer_mode =="
@@ -95,13 +98,28 @@ go test -race -count=1 \
     -run 'TestWheelModelDifferential|TestReserveSeq|TestRandomInterleavingNoStaleFires' \
     ./internal/eventq/
 
-# Native fuzz targets, briefly: the differential scheduler fuzzer and the
-# transport packet-header fuzzer each get a short budget per CI run (the
-# corpus accumulates in the build cache across runs; crashes fail CI).
+# The EC block-path regression suite — satisfyBlock release accounting
+# under stale/hostile AckBlock, NACK-exhaustion no-rearm, tail-block
+# schedule accounting, and the fountain transport path (minted repair
+# symbols, adaptive redundancy, hostile dynamic-seq headers) — runs
+# explicitly with caching disabled so a transport change can never ride a
+# stale cache entry through the full -race sweep below.
+echo "== EC block-path regressions, -race -count=1 =="
+go test -race -count=1 \
+    -run 'TestFountain|TestSatisfyBlock|TestBlockNack|TestBlockCompletion|TestAckBlockOutOfRange|TestTailBlock|TestRSTailBlock|TestGilbertElliottDegenerateParams' \
+    ./internal/transport/ ./internal/failure/
+
+# Native fuzz targets, briefly: the differential scheduler fuzzer, the
+# transport packet-header fuzzer (which also drives the fountain receiver's
+# dynamic-arrival path — its corpus once held a sender panic on a hostile
+# echoed seq), and the fountain GF(2) decoder fuzzer each get a short
+# budget per CI run (the corpus accumulates in the build cache across
+# runs; crashes fail CI).
 FUZZTIME="${UNO_FUZZTIME:-10s}"
 echo "== fuzz smoke, -fuzztime $FUZZTIME each =="
 go test -run '^$' -fuzz '^FuzzSchedulerOps$' -fuzztime "$FUZZTIME" ./internal/eventq/
 go test -run '^$' -fuzz '^FuzzReceiverPacket$' -fuzztime "$FUZZTIME" ./internal/transport/
+go test -run '^$' -fuzz '^FuzzFountainDecode$' -fuzztime "$FUZZTIME" ./internal/ec/
 
 echo "== go test -race ./... =="
 go test -race ./...
